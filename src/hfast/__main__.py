@@ -1,0 +1,5 @@
+import sys
+
+from hfast.cli import main
+
+sys.exit(main())

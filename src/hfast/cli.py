@@ -1,0 +1,170 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m hfast analyze [--apps a,b] [--scales 16,64] [--profile]
+                            [--trace-out T.jsonl] [--metrics-out M.json]
+                            [--report-dir DIR] [--bench-dir DIR] ...
+    python -m hfast report  --trace T.jsonl [--report-dir DIR] [--bench-dir DIR]
+    python -m hfast apps
+
+``--profile`` turns the observability layer on; ``--trace-out`` /
+``--metrics-out`` imply it. With no profiling flags, the pipeline runs
+with observability disabled (the near-zero-overhead path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from hfast.apps import APPS, available_apps
+from hfast.cache import DEFAULT_CACHE_DIR, CacheValidationError, ReproCache
+from hfast.interconnect import InterconnectConfig
+from hfast.obs.profile import Observability, configure
+from hfast.obs.report import build_report, write_report
+from hfast.obs.trace import JsonlSink, read_events
+from hfast.pipeline import discover_scales, run_pipeline
+
+DEFAULT_REPORT_DIR = "reports"
+
+
+def _csv(value: str) -> list[str]:
+    return [v.strip() for v in value.split(",") if v.strip()]
+
+
+def _csv_ints(value: str) -> list[int]:
+    try:
+        return [int(v) for v in _csv(value)]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected comma-separated integers: {value!r}") from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hfast",
+        description="Ultra-scale communication analysis for a hybrid interconnect",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_an = sub.add_parser("analyze", help="run the analysis pipeline")
+    p_an.add_argument("--apps", type=_csv, default=None, help="comma-separated app list")
+    p_an.add_argument(
+        "--scales",
+        type=_csv_ints,
+        default=None,
+        help="comma-separated rank counts (applied to every app; default: cached scales)",
+    )
+    p_an.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    p_an.add_argument("--no-store", action="store_true", help="do not write cache misses back")
+    p_an.add_argument("--circuits", type=int, default=4, help="circuits per node for the hybrid eval")
+    p_an.add_argument("--profile", action="store_true", help="enable the observability layer")
+    p_an.add_argument("--trace-out", default=None, help="JSONL span/event trace path (implies --profile)")
+    p_an.add_argument("--metrics-out", default=None, help="metrics JSON export path (implies --profile)")
+    p_an.add_argument("--report-dir", default=None, help="write report.md + report.json here (implies --profile)")
+    p_an.add_argument("--bench-dir", default=None, help="write BENCH_<sha>.json here (implies --profile)")
+
+    p_rep = sub.add_parser("report", help="render a report from an existing JSONL trace")
+    p_rep.add_argument("--trace", required=True, help="JSONL event trace to read")
+    p_rep.add_argument("--report-dir", default=DEFAULT_REPORT_DIR)
+    p_rep.add_argument("--bench-dir", default=None)
+
+    p_apps = sub.add_parser("apps", help="list known apps and cached traces")
+    p_apps.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    return parser
+
+
+def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
+    profiling = bool(
+        args.profile or args.trace_out or args.metrics_out or args.report_dir or args.bench_dir
+    )
+    if profiling:
+        sink = JsonlSink(args.trace_out) if args.trace_out else None
+        obs = Observability(enabled=True, trace_sink=sink, keep_events=True)
+    else:
+        obs = Observability.disabled()
+    configure(obs)
+
+    apps = args.apps or available_apps()
+    unknown = [a for a in apps if a not in APPS]
+    if unknown:
+        print(f"error: unknown app(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    scales = None
+    if args.scales:
+        scales = {app: list(args.scales) for app in apps}
+
+    config = InterconnectConfig(circuits_per_node=args.circuits)
+    try:
+        out = run_pipeline(
+            apps=apps,
+            scales=scales,
+            cache_dir=args.cache_dir,
+            obs=obs,
+            config=config,
+            store=not args.no_store,
+            argv=argv,
+        )
+    except CacheValidationError as exc:
+        print(f"error: cache validation failed: {exc}", file=sys.stderr)
+        return 1
+
+    for res in out["results"]:
+        ic = res["interconnect"]
+        print(
+            f"{res['app']:>8s} p{res['nranks']:<4d} "
+            f"bytes={res['total_bytes']:>14,d} "
+            f"maxdeg={res['topology']['max_degree']:>3d} "
+            f"coverage={ic['coverage']:.3f} speedup={ic['speedup']:.2f}x"
+        )
+
+    if profiling:
+        if args.metrics_out:
+            obs.metrics.write_json(args.metrics_out)
+            print(f"metrics: {args.metrics_out}")
+        report_dir = args.report_dir or DEFAULT_REPORT_DIR
+        report = build_report(obs.events)
+        paths = write_report(report, report_dir, bench_dir=args.bench_dir)
+        for kind, path in paths.items():
+            print(f"{kind}: {path}")
+        if args.trace_out:
+            print(f"trace: {args.trace_out}")
+    obs.close()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    events = read_events(args.trace)
+    report = build_report(events)
+    paths = write_report(report, args.report_dir, bench_dir=args.bench_dir)
+    for kind, path in paths.items():
+        print(f"{kind}: {path}")
+    return 0
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    cache = ReproCache(args.cache_dir, readonly=True)
+    scales = discover_scales(cache, available_apps())
+    listing = {
+        app: {"description": APPS[app].description, "cached_scales": scales[app]}
+        for app in available_apps()
+    }
+    print(json.dumps(listing, indent=2))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    args = build_parser().parse_args(argv)
+    if args.command == "analyze":
+        return _cmd_analyze(args, argv)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "apps":
+        return _cmd_apps(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Communication-matrix reduction.
+
+Reduces a trace's point-to-point records into dense nranks x nranks
+byte- and message-count matrices. Traffic is attributed send-side; when a
+trace only records one side of an exchange (as IPM sometimes does), the
+recv-derived matrix fills the gap via an elementwise max, so volume is
+never double-counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from hfast.obs.profile import profiled
+from hfast.records import CommRecord
+
+
+@dataclass
+class CommMatrix:
+    nranks: int
+    bytes_matrix: np.ndarray  # [src, dst] payload bytes
+    msg_matrix: np.ndarray  # [src, dst] message count
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.bytes_matrix.sum())
+
+    @property
+    def total_messages(self) -> int:
+        return int(self.msg_matrix.sum())
+
+    def nonzero_links(self) -> int:
+        return int(np.count_nonzero(self.bytes_matrix))
+
+    def top_links(self, k: int = 10) -> list[tuple[int, int, int]]:
+        """Heaviest (src, dst, bytes) links, descending."""
+        flat = self.bytes_matrix.ravel()
+        if not flat.any():
+            return []
+        k = min(k, int(np.count_nonzero(flat)))
+        idx = np.argpartition(flat, -k)[-k:]
+        idx = idx[np.argsort(flat[idx])[::-1]]
+        n = self.nranks
+        return [(int(i // n), int(i % n), int(flat[i])) for i in idx]
+
+    def top_peers(self, rank: int, k: int = 5) -> list[tuple[int, int]]:
+        """Heaviest (peer, bytes) partners of one rank (send + recv volume)."""
+        volume = self.bytes_matrix[rank, :] + self.bytes_matrix[:, rank]
+        order = np.argsort(volume)[::-1]
+        return [(int(p), int(volume[p])) for p in order[:k] if volume[p] > 0]
+
+
+@profiled("matrix_reduce")
+def reduce_matrix(records: Iterable[CommRecord], nranks: int) -> CommMatrix:
+    """Build the communication matrix from point-to-point records."""
+    send_bytes = np.zeros((nranks, nranks), dtype=np.int64)
+    send_msgs = np.zeros((nranks, nranks), dtype=np.int64)
+    recv_bytes = np.zeros((nranks, nranks), dtype=np.int64)
+    recv_msgs = np.zeros((nranks, nranks), dtype=np.int64)
+    for r in records:
+        if not r.is_ptp or r.size <= 0 or r.rank == r.peer:
+            continue
+        if r.is_send:
+            send_bytes[r.rank, r.peer] += r.bytes_moved
+            send_msgs[r.rank, r.peer] += r.count
+        elif r.is_recv:
+            recv_bytes[r.peer, r.rank] += r.bytes_moved
+            recv_msgs[r.peer, r.rank] += r.count
+    return CommMatrix(
+        nranks=nranks,
+        bytes_matrix=np.maximum(send_bytes, recv_bytes),
+        msg_matrix=np.maximum(send_msgs, recv_msgs),
+    )

@@ -1,0 +1,71 @@
+"""Observability layer: span tracing, metrics, profiling hooks, reports.
+
+Quick start::
+
+    from hfast import obs
+
+    o = obs.Observability.to_jsonl("trace.jsonl")
+    obs.configure(o)
+
+    with obs.obs_span("my_stage", app="cactus"):
+        ...
+
+    o.metrics.histogram("msg_size_bytes").observe(4096)
+    report = obs.build_report(o.events)
+
+Everything is a no-op when the ambient instance is disabled (the default),
+so library code can instrument unconditionally.
+"""
+
+from hfast.obs.manifest import build_manifest, git_sha
+from hfast.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log2_bucket,
+)
+from hfast.obs.profile import (
+    Observability,
+    configure,
+    get_obs,
+    obs_span,
+    profiled,
+    using,
+)
+from hfast.obs.report import build_report, render_markdown, write_report
+from hfast.obs.trace import (
+    JsonlSink,
+    ListSink,
+    NullSink,
+    SpanTracer,
+    TeeSink,
+    peak_rss_kb,
+    read_events,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "ListSink",
+    "MetricsRegistry",
+    "NullSink",
+    "Observability",
+    "SpanTracer",
+    "TeeSink",
+    "build_manifest",
+    "build_report",
+    "configure",
+    "get_obs",
+    "git_sha",
+    "log2_bucket",
+    "obs_span",
+    "peak_rss_kb",
+    "profiled",
+    "read_events",
+    "render_markdown",
+    "using",
+    "write_report",
+]

@@ -1,0 +1,49 @@
+"""Run manifest: provenance stamped at the start of every pipeline run.
+
+Captures git SHA, timestamp, host/python info, the requested app/scale
+matrix, and (once the run finishes) cache hit/miss counts. The manifest
+is the first event in the JSONL trace and is embedded in the run report,
+so every ``BENCH_*.json`` entry is traceable to an exact tree state.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+import subprocess
+import sys
+from typing import Any
+
+
+def git_sha(cwd: str | None = None) -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.TimeoutExpired):
+        pass
+    return "unknown"
+
+
+def build_manifest(
+    apps: list[str],
+    scales: dict[str, list[int]],
+    argv: list[str] | None = None,
+    cwd: str | None = None,
+) -> dict[str, Any]:
+    return {
+        "git_sha": git_sha(cwd),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "argv": list(argv) if argv is not None else list(sys.argv),
+        "apps": list(apps),
+        "scales": {app: list(ns) for app, ns in scales.items()},
+        "cache": None,  # filled in when the run completes
+    }

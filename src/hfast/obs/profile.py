@@ -1,0 +1,113 @@
+"""Ambient observability context and stage-profiling hooks.
+
+An :class:`Observability` object bundles a span tracer and a metrics
+registry. A process-wide ambient instance (disabled by default) lets hot
+paths be instrumented unconditionally — ``@profiled("stage")`` and
+``obs_span(...)`` resolve the ambient instance at call time and collapse
+to near-zero work when observability is off.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from hfast.obs.metrics import MetricsRegistry
+from hfast.obs.trace import JsonlSink, ListSink, NullSink, SpanTracer, TeeSink
+
+
+class Observability:
+    """Tracer + metrics bundle handed through the pipeline."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        trace_sink: Any = None,
+        keep_events: bool = True,
+    ):
+        self.enabled = enabled
+        if not enabled:
+            self.tracer = SpanTracer(sink=NullSink(), enabled=False)
+            self.metrics = MetricsRegistry(enabled=False)
+            self.event_buffer: ListSink | None = None
+            return
+        self.event_buffer = ListSink() if keep_events else None
+        if trace_sink is None:
+            sink: Any = self.event_buffer or NullSink()
+        elif self.event_buffer is not None:
+            sink = TeeSink(trace_sink, self.event_buffer)
+        else:
+            sink = trace_sink
+        self.tracer = SpanTracer(sink=sink, enabled=True)
+        self.metrics = MetricsRegistry(enabled=True)
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        return self.event_buffer.events if self.event_buffer else []
+
+    def close(self) -> None:
+        self.tracer.close()
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(enabled=False)
+
+    @classmethod
+    def to_jsonl(cls, path: str, keep_events: bool = True) -> "Observability":
+        return cls(enabled=True, trace_sink=JsonlSink(path), keep_events=keep_events)
+
+
+_ambient = Observability.disabled()
+
+
+def configure(obs: Observability) -> Observability:
+    """Install obs as the process-wide ambient instance; returns it."""
+    global _ambient
+    _ambient = obs
+    return obs
+
+
+def get_obs() -> Observability:
+    return _ambient
+
+
+@contextmanager
+def using(obs: Observability) -> Iterator[Observability]:
+    """Temporarily install obs as the ambient instance."""
+    global _ambient
+    prev = _ambient
+    _ambient = obs
+    try:
+        yield obs
+    finally:
+        _ambient = prev
+
+
+@contextmanager
+def obs_span(name: str, **attrs: Any) -> Iterator[Any]:
+    """Span against the ambient observability instance."""
+    with _ambient.tracer.span(name, **attrs) as sp:
+        yield sp
+
+
+def profiled(stage: str, **attrs: Any) -> Callable:
+    """Decorator: trace a pipeline stage and count its invocations.
+
+    Resolves the ambient instance per call, so enabling observability after
+    import works and disabled mode costs one attribute check.
+    """
+
+    def deco(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            obs = _ambient
+            if not obs.enabled:
+                return fn(*args, **kwargs)
+            obs.metrics.counter(f"stage.{stage}.calls").inc()
+            with obs.tracer.span(stage, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return deco

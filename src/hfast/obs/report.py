@@ -1,0 +1,214 @@
+"""IPM-style run report.
+
+Builds a per-app, per-scale summary (call totals, communication volume,
+message-size distribution, top peers, topology degree, hybrid-interconnect
+evaluation) plus a per-stage wall-time profile, entirely from the
+structured event stream emitted during a run. Rendered as markdown for
+humans and JSON for machines; the JSON is also written as a
+``BENCH_<shortsha>.json`` file for cross-PR perf-trajectory tracking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import defaultdict
+from pathlib import Path
+from typing import Any
+
+REPORT_VERSION = 1
+
+
+def build_report(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate a JSONL event stream into the run-report document."""
+    manifest: dict[str, Any] | None = None
+    runs: list[dict[str, Any]] = []
+    stage_wall: dict[str, float] = defaultdict(float)
+    stage_calls: dict[str, int] = defaultdict(int)
+    peak_rss = 0
+
+    for ev in events:
+        kind = ev.get("event")
+        if kind == "manifest":
+            manifest = {k: v for k, v in ev.items() if k != "event"}
+        elif kind == "app_summary":
+            runs.append({k: v for k, v in ev.items() if k != "event"})
+        elif kind == "span":
+            stage_wall[ev["name"]] += ev.get("wall_s", 0.0)
+            stage_calls[ev["name"]] += 1
+            peak_rss = max(peak_rss, ev.get("peak_rss_kb", 0))
+
+    total_wall = sum(w for name, w in stage_wall.items() if name == "pipeline") or sum(
+        stage_wall.values()
+    )
+    stages = [
+        {
+            "stage": name,
+            "calls": stage_calls[name],
+            "wall_s": round(wall, 6),
+            "pct": round(100.0 * wall / total_wall, 2) if total_wall else 0.0,
+        }
+        for name, wall in sorted(stage_wall.items(), key=lambda kv: -kv[1])
+    ]
+    return {
+        "report_version": REPORT_VERSION,
+        "manifest": manifest,
+        "runs": runs,
+        "profile": {
+            "total_wall_s": round(total_wall, 6),
+            "peak_rss_kb": peak_rss,
+            "stages": stages,
+        },
+    }
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} TiB"
+
+
+def render_markdown(report: dict[str, Any]) -> str:
+    lines: list[str] = ["# hfast run report", ""]
+    man = report.get("manifest")
+    if man:
+        lines += [
+            f"- **git SHA:** `{man.get('git_sha', 'unknown')}`",
+            f"- **timestamp:** {man.get('timestamp', '?')}",
+            f"- **python:** {man.get('python', '?')} on {man.get('platform', '?')}",
+            f"- **apps:** {', '.join(man.get('apps', []))}",
+        ]
+        cache = man.get("cache")
+        if cache:
+            lines.append(
+                f"- **cache:** {cache.get('hits', 0)} hits / "
+                f"{cache.get('misses', 0)} misses / {cache.get('stores', 0)} stores"
+            )
+        lines.append("")
+
+    for run in report.get("runs", []):
+        app, nranks = run.get("app", "?"), run.get("nranks", "?")
+        lines.append(f"## {app} @ {nranks} ranks")
+        lines.append("")
+        lines.append(
+            f"- point-to-point volume: {_fmt_bytes(run.get('total_bytes', 0))} "
+            f"in {run.get('total_messages', 0)} messages "
+            f"over {run.get('nonzero_links', 0)} links"
+        )
+        topo = run.get("topology", {})
+        lines.append(
+            f"- topology degree: max {topo.get('max_degree', '?')}, "
+            f"avg {topo.get('avg_degree', '?')}"
+        )
+        conc = topo.get("concentration", {})
+        if conc:
+            parts = [f"top-{k}: {100 * float(v):.0f}%" for k, v in sorted(conc.items(), key=lambda kv: int(kv[0]))]
+            lines.append(f"- traffic concentration: {', '.join(parts)}")
+        ic = run.get("interconnect", {})
+        if ic:
+            lines.append(
+                f"- hybrid interconnect: {100 * ic.get('coverage', 0):.1f}% of bytes on "
+                f"{ic.get('n_circuits', 0)} circuits "
+                f"({'fully' if ic.get('fully_provisionable') else 'partially'} provisionable), "
+                f"{ic.get('speedup', 1.0)}x vs packet-only"
+            )
+        lines.append("")
+
+        totals = run.get("call_totals", {})
+        if totals:
+            lines.append("| MPI call | count | % of calls |")
+            lines.append("|---|---:|---:|")
+            call_sum = sum(totals.values())
+            for call, cnt in sorted(totals.items(), key=lambda kv: -kv[1]):
+                lines.append(f"| {call} | {cnt} | {100 * cnt / call_sum:.1f}% |")
+            lines.append("")
+
+        buckets = run.get("size_buckets", {})
+        if buckets:
+            lines.append("| msg size bucket | messages |")
+            lines.append("|---|---:|")
+            for edge, cnt in sorted(buckets.items(), key=lambda kv: int(kv[0])):
+                lines.append(f"| <= {_fmt_bytes(int(edge))} | {cnt} |")
+            lines.append("")
+
+        peers = run.get("top_peers", [])
+        if peers:
+            lines.append("| rank | heaviest peer | volume |")
+            lines.append("|---:|---:|---:|")
+            for entry in peers:
+                lines.append(
+                    f"| {entry['rank']} | {entry['peer']} | {_fmt_bytes(entry['bytes'])} |"
+                )
+            lines.append("")
+
+    prof = report.get("profile", {})
+    stages = prof.get("stages", [])
+    if stages:
+        lines.append("## Stage profile")
+        lines.append("")
+        lines.append(
+            f"Total wall: {prof.get('total_wall_s', 0):.4f} s · "
+            f"peak RSS: {prof.get('peak_rss_kb', 0)} KiB"
+        )
+        lines.append("")
+        lines.append("| stage | calls | wall (s) | % |")
+        lines.append("|---|---:|---:|---:|")
+        for st in stages:
+            lines.append(
+                f"| {st['stage']} | {st['calls']} | {st['wall_s']:.4f} | {st['pct']:.1f} |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    report: dict[str, Any],
+    out_dir: str | os.PathLike,
+    bench_dir: str | os.PathLike | None = None,
+) -> dict[str, Path]:
+    """Write report.md + report.json (and a BENCH_*.json when bench_dir set)."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: dict[str, Path] = {}
+
+    json_path = out / "report.json"
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    paths["json"] = json_path
+
+    md_path = out / "report.md"
+    md_path.write_text(render_markdown(report), encoding="utf-8")
+    paths["markdown"] = md_path
+
+    if bench_dir is not None:
+        man = report.get("manifest") or {}
+        sha = (man.get("git_sha") or "unknown")[:12]
+        bench = Path(bench_dir)
+        bench.mkdir(parents=True, exist_ok=True)
+        bench_path = bench / f"BENCH_{sha}.json"
+        bench_doc = {
+            "report_version": report["report_version"],
+            "git_sha": man.get("git_sha"),
+            "timestamp": man.get("timestamp"),
+            "profile": report.get("profile"),
+            "runs": [
+                {
+                    "app": r.get("app"),
+                    "nranks": r.get("nranks"),
+                    "total_bytes": r.get("total_bytes"),
+                    "total_messages": r.get("total_messages"),
+                    "max_degree": (r.get("topology") or {}).get("max_degree"),
+                    "coverage": (r.get("interconnect") or {}).get("coverage"),
+                    "speedup": (r.get("interconnect") or {}).get("speedup"),
+                }
+                for r in report.get("runs", [])
+            ],
+        }
+        with open(bench_path, "w", encoding="utf-8") as fh:
+            json.dump(bench_doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        paths["bench"] = bench_path
+    return paths

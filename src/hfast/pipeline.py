@@ -1,0 +1,147 @@
+"""Pipeline orchestration: trace -> matrix -> topology -> interconnect.
+
+Every stage runs under an observability span; per-record message sizes
+feed the IPM-style log2 histograms; each (app, nranks) cell emits one
+``app_summary`` event carrying the full analysis result, which is what the
+run report is rendered from. A run manifest is emitted before any work and
+re-emitted with cache statistics once the run completes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from hfast.apps import available_apps, synthesize
+from hfast.cache import DEFAULT_CACHE_DIR, ReproCache
+from hfast.interconnect import InterconnectConfig, evaluate_hybrid
+from hfast.matrix import reduce_matrix
+from hfast.obs.manifest import build_manifest
+from hfast.obs.metrics import log2_bucket
+from hfast.obs.profile import Observability, get_obs, using
+from hfast.records import Trace
+from hfast.topology import analyze_topology
+
+DEFAULT_SCALES = (16, 64)
+
+
+def discover_scales(cache: ReproCache, apps: list[str]) -> dict[str, list[int]]:
+    """Per-app scales present in the cache, with a default fallback."""
+    scales: dict[str, list[int]] = {app: [] for app in apps}
+    for path in cache.list_entries():
+        parts = path.stem.split("_")
+        if len(parts) < 3 or not parts[-2].startswith("p"):
+            continue
+        app = "_".join(parts[:-2])
+        try:
+            nranks = int(parts[-2][1:])
+        except ValueError:
+            continue
+        if app in scales and nranks not in scales[app]:
+            scales[app].append(nranks)
+    for app in apps:
+        scales[app] = sorted(scales[app]) or list(DEFAULT_SCALES)
+    return scales
+
+
+def analyze_app(
+    app: str,
+    nranks: int,
+    cache: ReproCache,
+    obs: Observability,
+    config: InterconnectConfig | None = None,
+    overrides: dict[str, Any] | None = None,
+    store: bool = True,
+) -> dict[str, Any]:
+    """Analyze one (app, nranks) cell and emit its app_summary event."""
+    with using(obs), obs.tracer.span("analyze_app", app=app, nranks=nranks) as sp:
+        trace: Trace | None = cache.load(app, nranks, overrides)
+        if trace is None:
+            trace = synthesize(app, nranks, overrides)
+            if store:
+                cache.store(trace)
+        cm = reduce_matrix(trace.records, trace.nranks)
+        topo = analyze_topology(cm)
+        ev = evaluate_hybrid(cm, config)
+
+        # The size-bucket table is part of the analysis result; the metric
+        # observes only happen when observability is on, keeping the
+        # disabled path free of per-record instrument calls.
+        local_buckets: dict[int, int] = {}
+        if obs.enabled:
+            size_hist = obs.metrics.histogram("msg_size_bytes")
+            app_hist = obs.metrics.histogram(f"msg_size_bytes.{app}")
+            for rec in trace.records:
+                if rec.is_send and rec.size > 0:
+                    size_hist.observe(rec.size, weight=rec.count)
+                    app_hist.observe(rec.size, weight=rec.count)
+                    edge = log2_bucket(rec.size)
+                    local_buckets[edge] = local_buckets.get(edge, 0) + rec.count
+            for call, total in trace.call_totals.items():
+                obs.metrics.counter(f"calls.{call}").inc(total)
+            obs.metrics.counter("pipeline.bytes_total").inc(cm.total_bytes)
+            obs.metrics.counter("pipeline.messages_total").inc(cm.total_messages)
+            obs.metrics.counter("pipeline.apps_analyzed").inc()
+        else:
+            for rec in trace.records:
+                if rec.is_send and rec.size > 0:
+                    edge = log2_bucket(rec.size)
+                    local_buckets[edge] = local_buckets.get(edge, 0) + rec.count
+
+        top_peers = []
+        for rank, _deg in sorted(
+            enumerate(topo.degrees), key=lambda kv: -int(kv[1])
+        )[:5]:
+            peers = cm.top_peers(rank, k=1)
+            if peers:
+                top_peers.append(
+                    {"rank": rank, "peer": peers[0][0], "bytes": peers[0][1]}
+                )
+
+        summary: dict[str, Any] = {
+            "app": app,
+            "nranks": nranks,
+            "overrides": dict(overrides or {}),
+            "call_totals": trace.call_totals,
+            "total_bytes": cm.total_bytes,
+            "total_messages": cm.total_messages,
+            "nonzero_links": cm.nonzero_links(),
+            "size_buckets": {str(k): v for k, v in sorted(local_buckets.items())},
+            "top_peers": top_peers,
+            "topology": topo.to_dict(),
+            "interconnect": ev.to_dict(),
+        }
+        sp.set_attr("total_bytes", cm.total_bytes)
+        sp.set_attr("max_degree", topo.max_degree)
+        obs.tracer.emit_event("app_summary", summary)
+        return summary
+
+
+def run_pipeline(
+    apps: list[str] | None = None,
+    scales: dict[str, list[int]] | None = None,
+    cache_dir: str = DEFAULT_CACHE_DIR,
+    obs: Observability | None = None,
+    config: InterconnectConfig | None = None,
+    store: bool = True,
+    argv: list[str] | None = None,
+) -> dict[str, Any]:
+    """Run the full analysis matrix; returns {manifest, results}."""
+    obs = obs if obs is not None else get_obs()
+    cache = ReproCache(cache_dir, readonly=not store)
+    apps = list(apps) if apps else available_apps()
+    scales = scales or discover_scales(cache, apps)
+
+    manifest = build_manifest(apps, scales, argv=argv)
+    obs.tracer.emit_event("manifest", manifest)
+
+    results: list[dict[str, Any]] = []
+    with obs.tracer.span("pipeline", napps=len(apps)):
+        for app in apps:
+            for nranks in scales.get(app, list(DEFAULT_SCALES)):
+                results.append(
+                    analyze_app(app, nranks, cache, obs, config=config, store=store)
+                )
+
+    manifest["cache"] = cache.stats.to_dict()
+    obs.tracer.emit_event("manifest", manifest)
+    return {"manifest": manifest, "results": results}

@@ -1,0 +1,152 @@
+"""Trace record model.
+
+A trace is a list of aggregated per-rank MPI call records, the same shape
+IPM emits after reduction: one record per distinct
+(rank, call, message size, peer, region) tuple with a repeat count and
+timing aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable
+
+# Point-to-point calls move payload between two distinct ranks and are the
+# ones that land in the communication matrix.
+PTP_CALLS = frozenset(
+    {
+        "MPI_Send",
+        "MPI_Isend",
+        "MPI_Ssend",
+        "MPI_Recv",
+        "MPI_Irecv",
+        "MPI_Sendrecv",
+    }
+)
+
+SEND_CALLS = frozenset({"MPI_Send", "MPI_Isend", "MPI_Ssend", "MPI_Sendrecv"})
+RECV_CALLS = frozenset({"MPI_Recv", "MPI_Irecv"})
+
+COLLECTIVE_CALLS = frozenset(
+    {
+        "MPI_Allreduce",
+        "MPI_Reduce",
+        "MPI_Bcast",
+        "MPI_Alltoall",
+        "MPI_Alltoallv",
+        "MPI_Allgather",
+        "MPI_Gather",
+        "MPI_Scatter",
+        "MPI_Barrier",
+    }
+)
+
+COMPLETION_CALLS = frozenset({"MPI_Wait", "MPI_Waitall", "MPI_Waitany", "MPI_Test"})
+
+
+@dataclass
+class CommRecord:
+    """One aggregated IPM-style call record."""
+
+    rank: int
+    call: str
+    size: int
+    peer: int
+    region: str = "steady"
+    count: int = 1
+    total_time: float = 0.0
+    min_time: float = 0.0
+    max_time: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "CommRecord":
+        return cls(
+            rank=int(d["rank"]),
+            call=str(d["call"]),
+            size=int(d["size"]),
+            peer=int(d["peer"]),
+            region=str(d.get("region", "steady")),
+            count=int(d.get("count", 1)),
+            total_time=float(d.get("total_time", 0.0)),
+            min_time=float(d.get("min_time", 0.0)),
+            max_time=float(d.get("max_time", 0.0)),
+        )
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.size * self.count
+
+    @property
+    def is_ptp(self) -> bool:
+        return self.call in PTP_CALLS
+
+    @property
+    def is_send(self) -> bool:
+        return self.call in SEND_CALLS
+
+    @property
+    def is_recv(self) -> bool:
+        return self.call in RECV_CALLS
+
+    @property
+    def is_collective(self) -> bool:
+        return self.call in COLLECTIVE_CALLS
+
+
+@dataclass
+class Trace:
+    """A complete synthetic (or cached) application trace."""
+
+    app: str
+    nranks: int
+    records: list[CommRecord]
+    overrides: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def call_totals(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for r in self.records:
+            totals[r.call] = totals.get(r.call, 0) + r.count
+        return totals
+
+    def to_document(self) -> dict[str, Any]:
+        """Serialize to the on-disk repro-cache document (format 2)."""
+        return {
+            "format": 2,
+            "metadata": {
+                "app": self.app,
+                "nranks": self.nranks,
+                "overrides": dict(self.overrides),
+            },
+            "call_totals": self.call_totals,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    @classmethod
+    def from_document(cls, doc: dict[str, Any]) -> "Trace":
+        meta = doc["metadata"]
+        return cls(
+            app=str(meta["app"]),
+            nranks=int(meta["nranks"]),
+            overrides=dict(meta.get("overrides", {})),
+            records=[CommRecord.from_dict(r) for r in doc["records"]],
+        )
+
+
+def aggregate(records: Iterable[CommRecord]) -> list[CommRecord]:
+    """Merge records sharing (rank, call, size, peer, region)."""
+    merged: dict[tuple, CommRecord] = {}
+    for r in records:
+        key = (r.rank, r.call, r.size, r.peer, r.region)
+        cur = merged.get(key)
+        if cur is None:
+            merged[key] = CommRecord(**r.to_dict())
+        else:
+            cur.count += r.count
+            cur.total_time += r.total_time
+            cur.min_time = min(cur.min_time, r.min_time) if cur.count else r.min_time
+            cur.max_time = max(cur.max_time, r.max_time)
+    return list(merged.values())

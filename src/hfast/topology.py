@@ -1,0 +1,68 @@
+"""Topology-degree analysis (the paper's central measurement).
+
+The SC'05 study's key observation: most ultra-scale applications talk to a
+small, fixed set of partners, so a hybrid interconnect can provision
+circuits for the heavy links and fall back to a cheap packet network for
+the rest. These reductions quantify that: per-rank degree, the degree
+distribution, and the traffic fraction concentrated on each rank's top-k
+partners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from hfast.matrix import CommMatrix
+from hfast.obs.profile import profiled
+
+
+@dataclass
+class TopologyStats:
+    nranks: int
+    degrees: np.ndarray  # per-rank partner count (union of send/recv)
+    max_degree: int
+    avg_degree: float
+    degree_histogram: dict[int, int]
+    concentration: dict[int, float]  # k -> fraction of bytes on top-k partners/rank
+
+    def to_dict(self) -> dict:
+        return {
+            "nranks": self.nranks,
+            "max_degree": self.max_degree,
+            "avg_degree": round(self.avg_degree, 3),
+            "degree_histogram": {str(k): v for k, v in sorted(self.degree_histogram.items())},
+            "concentration": {str(k): round(v, 4) for k, v in sorted(self.concentration.items())},
+        }
+
+
+@profiled("topology_degree")
+def analyze_topology(cm: CommMatrix, ks: tuple[int, ...] = (1, 2, 4, 8, 16)) -> TopologyStats:
+    # Partner volume seen by each rank, regardless of direction.
+    volume = cm.bytes_matrix + cm.bytes_matrix.T
+    np.fill_diagonal(volume, 0)
+    partners = volume > 0
+    degrees = partners.sum(axis=1)
+
+    hist: dict[int, int] = {}
+    for d in degrees:
+        hist[int(d)] = hist.get(int(d), 0) + 1
+
+    total = float(volume.sum())
+    concentration: dict[int, float] = {}
+    if total > 0:
+        sorted_vol = np.sort(volume, axis=1)[:, ::-1]
+        for k in ks:
+            concentration[k] = float(sorted_vol[:, :k].sum()) / total
+    else:
+        concentration = {k: 0.0 for k in ks}
+
+    return TopologyStats(
+        nranks=cm.nranks,
+        degrees=degrees,
+        max_degree=int(degrees.max()) if cm.nranks else 0,
+        avg_degree=float(degrees.mean()) if cm.nranks else 0.0,
+        degree_histogram=hist,
+        concentration=concentration,
+    )

@@ -1,0 +1,23 @@
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+@pytest.fixture
+def repo_cache_dir() -> Path:
+    return REPO_ROOT / ".repro_cache"
+
+
+@pytest.fixture(autouse=True)
+def reset_ambient_obs():
+    """Keep the process-wide ambient observability disabled between tests."""
+    from hfast.obs.profile import Observability, configure
+
+    yield
+    configure(Observability.disabled())

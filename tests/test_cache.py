@@ -1,0 +1,149 @@
+import json
+
+import pytest
+
+from hfast.apps import synthesize
+from hfast.cache import (
+    CacheValidationError,
+    ReproCache,
+    cache_key,
+    cache_path,
+    validate_document,
+)
+
+
+def valid_doc(nranks=2):
+    return {
+        "format": 2,
+        "metadata": {"app": "toy", "nranks": nranks, "overrides": {}},
+        "call_totals": {"MPI_Isend": 3},
+        "records": [
+            {
+                "rank": 0,
+                "call": "MPI_Isend",
+                "size": 1024,
+                "peer": 1,
+                "region": "steady",
+                "count": 3,
+                "total_time": 0.0,
+                "min_time": 0.0,
+                "max_time": 0.0,
+            }
+        ],
+    }
+
+
+class TestKeying:
+    def test_key_matches_seed_corpus(self):
+        # Known filenames from the checked-in seed cache.
+        assert cache_key("cactus", 8, {}) == "d0f189f7c632"
+        assert cache_key("cactus", 8, {"steps": 4}) == "31d27bb5ad70"
+        assert cache_key("paratec", 16, {"fft_cycles": 1}) == "478e0f436f59"
+
+    def test_path_layout(self, tmp_path):
+        p = cache_path(tmp_path, "cactus", 8)
+        assert p.name == "cactus_p8_d0f189f7c632.json"
+
+    def test_overrides_change_key(self):
+        assert cache_key("gtc", 16, {}) != cache_key("gtc", 16, {"steps": 2})
+
+
+class TestValidator:
+    def test_valid_document_passes(self):
+        validate_document(valid_doc(), "x.json")
+
+    def test_error_names_offending_file(self):
+        doc = valid_doc()
+        del doc["records"]
+        with pytest.raises(CacheValidationError, match="bad/file.json"):
+            validate_document(doc, "bad/file.json")
+
+    def test_rejects_wrong_format_version(self):
+        doc = valid_doc()
+        doc["format"] = 1
+        with pytest.raises(CacheValidationError, match="format version"):
+            validate_document(doc, "f.json")
+
+    @pytest.mark.parametrize("key", ["format", "metadata", "call_totals", "records"])
+    def test_rejects_missing_top_key(self, key):
+        doc = valid_doc()
+        del doc[key]
+        with pytest.raises(CacheValidationError, match=key):
+            validate_document(doc, "f.json")
+
+    @pytest.mark.parametrize("key", ["rank", "call", "size", "peer", "count"])
+    def test_rejects_missing_record_field(self, key):
+        doc = valid_doc()
+        del doc["records"][0][key]
+        with pytest.raises(CacheValidationError, match=f"records\\[0\\] missing required field '{key}'"):
+            validate_document(doc, "f.json")
+
+    @pytest.mark.parametrize("key", ["size", "count", "total_time"])
+    def test_rejects_negative_values(self, key):
+        doc = valid_doc()
+        doc["records"][0][key] = -1
+        doc["call_totals"] = {"MPI_Isend": doc["records"][0]["count"]}
+        with pytest.raises(CacheValidationError, match="non-negative"):
+            validate_document(doc, "f.json")
+
+    def test_rejects_out_of_range_peer(self):
+        doc = valid_doc(nranks=2)
+        doc["records"][0]["peer"] = 5
+        with pytest.raises(CacheValidationError, match="out of range"):
+            validate_document(doc, "f.json")
+
+    def test_rejects_inconsistent_call_totals(self):
+        doc = valid_doc()
+        doc["call_totals"] = {"MPI_Isend": 999}
+        with pytest.raises(CacheValidationError, match="call_totals"):
+            validate_document(doc, "f.json")
+
+    def test_seed_corpus_validates(self, repo_cache_dir):
+        files = sorted(repo_cache_dir.glob("*.json"))
+        assert len(files) >= 16
+        for path in files:
+            validate_document(json.loads(path.read_text()), path)
+
+
+class TestReproCache:
+    def test_miss_then_store_then_hit(self, tmp_path):
+        cache = ReproCache(tmp_path)
+        assert cache.load("cactus", 8) is None
+        trace = synthesize("cactus", 8)
+        path = cache.store(trace)
+        assert path.exists()
+        again = cache.load("cactus", 8)
+        assert again is not None
+        assert again.call_totals == trace.call_totals
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_load_rejects_corrupt_file(self, tmp_path):
+        cache = ReproCache(tmp_path)
+        path = cache.path_for("cactus", 8)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"format": 2}')
+        with pytest.raises(CacheValidationError, match=str(path)):
+            cache.load("cactus", 8)
+        assert cache.stats.validation_failures == 1
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        cache = ReproCache(tmp_path)
+        path = cache.path_for("gtc", 4)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{not json")
+        with pytest.raises(CacheValidationError, match="invalid JSON"):
+            cache.load("gtc", 4)
+
+    def test_readonly_cache_does_not_write(self, tmp_path):
+        cache = ReproCache(tmp_path, readonly=True)
+        cache.store(synthesize("gtc", 4))
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_seed_loads_as_trace(self, repo_cache_dir):
+        cache = ReproCache(repo_cache_dir, readonly=True)
+        trace = cache.load("cactus", 16)
+        assert trace is not None
+        assert trace.nranks == 16
+        assert trace.call_totals["MPI_Isend"] == 672

@@ -1,0 +1,97 @@
+import json
+
+import pytest
+
+from hfast.cli import main
+from hfast.obs.trace import read_events
+
+
+@pytest.fixture
+def seed_cache(repo_cache_dir):
+    return str(repo_cache_dir)
+
+
+def test_analyze_profiled_produces_all_artifacts(tmp_path, seed_cache, capsys):
+    trace_out = tmp_path / "trace.jsonl"
+    metrics_out = tmp_path / "metrics.json"
+    report_dir = tmp_path / "reports"
+    bench_dir = tmp_path / "bench"
+    rc = main(
+        [
+            "analyze",
+            "--cache-dir", seed_cache,
+            "--no-store",
+            "--profile",
+            "--trace-out", str(trace_out),
+            "--metrics-out", str(metrics_out),
+            "--report-dir", str(report_dir),
+            "--bench-dir", str(bench_dir),
+        ]
+    )
+    assert rc == 0
+
+    events = read_events(trace_out)
+    assert events[0]["event"] == "manifest"
+    assert any(e["event"] == "app_summary" for e in events)
+    assert any(e["event"] == "span" and e["name"] == "pipeline" for e in events)
+
+    metrics = json.loads(metrics_out.read_text())
+    assert metrics["msg_size_bytes"]["type"] == "histogram"
+    assert metrics["pipeline.apps_analyzed"]["value"] == 13
+
+    report = json.loads((report_dir / "report.json").read_text())
+    assert {r["app"] for r in report["runs"]} == {"cactus", "gtc", "lbmhd", "paratec"}
+    md = (report_dir / "report.md").read_text()
+    assert "## paratec @ 16 ranks" in md
+
+    benches = list(bench_dir.glob("BENCH_*.json"))
+    assert len(benches) == 1
+
+    out = capsys.readouterr().out
+    assert "coverage=" in out
+
+
+def test_analyze_unprofiled_writes_nothing(tmp_path, seed_cache, capsys):
+    rc = main(
+        ["analyze", "--cache-dir", seed_cache, "--no-store", "--apps", "gtc", "--scales", "16"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "gtc" in out
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_analyze_rejects_unknown_app(seed_cache, capsys):
+    rc = main(["analyze", "--cache-dir", seed_cache, "--apps", "nosuch"])
+    assert rc == 2
+    assert "unknown app" in capsys.readouterr().err
+
+
+def test_report_from_existing_trace(tmp_path, seed_cache):
+    trace_out = tmp_path / "trace.jsonl"
+    assert (
+        main(
+            [
+                "analyze",
+                "--cache-dir", seed_cache,
+                "--no-store",
+                "--apps", "cactus",
+                "--scales", "8",
+                "--trace-out", str(trace_out),
+                "--report-dir", str(tmp_path / "r1"),
+            ]
+        )
+        == 0
+    )
+    rc = main(["report", "--trace", str(trace_out), "--report-dir", str(tmp_path / "r2")])
+    assert rc == 0
+    first = json.loads((tmp_path / "r1" / "report.json").read_text())
+    second = json.loads((tmp_path / "r2" / "report.json").read_text())
+    assert first["runs"] == second["runs"]
+
+
+def test_apps_listing(seed_cache, capsys):
+    rc = main(["apps", "--cache-dir", seed_cache])
+    assert rc == 0
+    listing = json.loads(capsys.readouterr().out)
+    assert listing["cactus"]["cached_scales"] == [8, 16, 27, 64, 256]

@@ -1,0 +1,59 @@
+from hfast.apps import synthesize
+from hfast.interconnect import InterconnectConfig, assign_circuits, evaluate_hybrid
+from hfast.matrix import reduce_matrix
+from hfast.records import CommRecord
+
+
+def ring_matrix(n=8):
+    recs = [CommRecord(r, "MPI_Isend", 1000, (r + 1) % n) for r in range(n)]
+    return reduce_matrix(recs, n)
+
+
+def test_ring_fully_provisionable():
+    ev = evaluate_hybrid(ring_matrix(8), InterconnectConfig(circuits_per_node=2))
+    assert ev.fully_provisionable
+    assert ev.coverage == 1.0
+    assert ev.packet_bytes == 0
+    assert ev.speedup >= 1.0
+
+
+def test_budget_limits_circuits():
+    # paratec all-to-all at 8 ranks: 56 links, budget 2 -> 16 circuits max
+    cm = reduce_matrix(synthesize("paratec", 8).records, 8)
+    circuits = assign_circuits(cm, circuits_per_node=2)
+    assert len(circuits) == 16
+    egress = [0] * 8
+    ingress = [0] * 8
+    for s, d in circuits:
+        egress[s] += 1
+        ingress[d] += 1
+    assert max(egress) <= 2 and max(ingress) <= 2
+
+
+def test_coverage_between_zero_and_one():
+    cm = reduce_matrix(synthesize("lbmhd", 16).records, 16)
+    ev = evaluate_hybrid(cm, InterconnectConfig(circuits_per_node=4))
+    assert 0.0 < ev.coverage < 1.0
+    assert ev.circuit_bytes + ev.packet_bytes == cm.total_bytes
+    assert not ev.fully_provisionable
+
+
+def test_hybrid_never_slower_than_packet_only():
+    for app in ("cactus", "gtc", "lbmhd", "paratec"):
+        cm = reduce_matrix(synthesize(app, 16).records, 16)
+        ev = evaluate_hybrid(cm)
+        assert ev.hybrid_time <= ev.packet_only_time
+        assert ev.speedup >= 1.0
+
+
+def test_empty_matrix_is_trivially_provisionable():
+    ev = evaluate_hybrid(reduce_matrix([], 4))
+    assert ev.fully_provisionable
+    assert ev.coverage == 0.0
+
+
+def test_more_circuits_more_coverage():
+    cm = reduce_matrix(synthesize("paratec", 8).records, 8)
+    low = evaluate_hybrid(cm, InterconnectConfig(circuits_per_node=1))
+    high = evaluate_hybrid(cm, InterconnectConfig(circuits_per_node=4))
+    assert high.coverage > low.coverage

@@ -1,0 +1,98 @@
+import json
+
+import pytest
+
+from hfast.obs.metrics import MetricsRegistry, log2_bucket
+
+
+class TestLog2Bucket:
+    @pytest.mark.parametrize(
+        "value,edge",
+        [
+            (0, 0),
+            (1, 1),
+            (2, 2),
+            (3, 4),
+            (4, 4),
+            (5, 8),
+            (1023, 1024),
+            (1024, 1024),
+            (1025, 2048),
+            (294912, 524288),
+        ],
+    )
+    def test_edges(self, value, edge):
+        assert log2_bucket(value) == edge
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            log2_bucket(-1)
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("msgs")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        assert reg.counter("msgs") is c  # get-or-create
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(7)
+        assert g.value == 7
+
+    def test_histogram_aggregates(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("sizes")
+        h.observe(3)
+        h.observe(1024, weight=2)
+        assert h.count == 3
+        assert h.sum == 3 + 2048
+        assert h.min == 3
+        assert h.max == 1024
+        assert h.buckets == {4: 1, 1024: 2}
+        assert h.mean == pytest.approx((3 + 2048) / 3)
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.histogram("x")
+
+
+class TestDisabledMode:
+    def test_noop_instruments_record_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(1)
+        reg.histogram("h").observe(123)
+        assert reg.to_dict() == {}
+        assert reg.to_text() == ""
+
+    def test_noop_instrument_is_shared(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is reg.histogram("b")
+
+
+class TestExport:
+    def test_to_dict_and_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("bytes").inc(100)
+        reg.histogram("sizes").observe(5)
+        path = tmp_path / "m" / "metrics.json"
+        reg.write_json(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["bytes"] == {"type": "counter", "value": 100}
+        assert loaded["sizes"]["buckets"] == {"8": 1}
+
+    def test_to_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes").inc(9)
+        reg.histogram("sizes").observe(3)
+        text = reg.to_text()
+        assert "bytes 9" in text
+        assert "sizes_count 1" in text
+        assert 'sizes_bucket{le="4"} 1' in text
