@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Compare two BENCH_<sha>.json perf snapshots and fail on regression.
+
+Usage::
+
+    python scripts/bench_compare.py [BASELINE CANDIDATE] \
+        [--dir .] [--max-regress 25] [--min-wall 0.05]
+
+With two explicit paths, BASELINE is the reference run and CANDIDATE the
+run under test. With no paths, the two newest ``BENCH_*.json`` under
+``--dir`` (by embedded manifest timestamp, falling back to file mtime)
+are compared — oldest of the pair as baseline. Fewer than two snapshots
+is not an error: the guard prints a note and passes, so the first run of
+a fresh checkout doesn't fail CI.
+
+A stage regresses when its wall time grows by more than ``--max-regress``
+percent over baseline. Stages whose baseline wall time is below
+``--min-wall`` seconds are reported but never fail the check — sub-tick
+stages are dominated by scheduler noise, not code.
+
+Exit status: 0 when no stage regresses, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_bench(path: Path) -> dict:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    if "profile" not in doc:
+        raise SystemExit(f"{path}: not a BENCH document (no 'profile' key)")
+    return doc
+
+
+def bench_sort_key(path: Path) -> tuple:
+    """Order snapshots by embedded timestamp, falling back to mtime."""
+    try:
+        stamp = json.loads(path.read_text(encoding="utf-8")).get("timestamp")
+    except (OSError, ValueError):
+        stamp = None
+    # ISO-8601 timestamps sort lexicographically; None sorts first so
+    # undated files lose to dated ones, then mtime breaks ties.
+    return (stamp is not None, stamp or "", path.stat().st_mtime)
+
+
+def pick_newest_two(bench_dir: Path) -> list[Path] | None:
+    found = sorted(bench_dir.glob("BENCH_*.json"), key=bench_sort_key)
+    if len(found) < 2:
+        return None
+    return found[-2:]
+
+
+def stage_walls(doc: dict) -> dict[str, float]:
+    return {
+        st["stage"]: float(st.get("wall_s", 0.0))
+        for st in (doc.get("profile") or {}).get("stages", [])
+    }
+
+
+def compare(base: dict, cand: dict, max_regress: float, min_wall: float) -> list[str]:
+    """Return a list of failure messages; print the comparison table."""
+    base_walls, cand_walls = stage_walls(base), stage_walls(cand)
+    failures: list[str] = []
+    header = f"{'stage':<22} {'base (s)':>10} {'cand (s)':>10} {'delta':>9}  verdict"
+    print(header)
+    print("-" * len(header))
+    for stage in sorted(set(base_walls) | set(cand_walls)):
+        b, c = base_walls.get(stage), cand_walls.get(stage)
+        if b is None or c is None:
+            which = "candidate" if b is None else "baseline"
+            print(f"{stage:<22} {b or 0:>10.4f} {c or 0:>10.4f} {'--':>9}  only-in-{which}")
+            continue
+        delta_pct = 100.0 * (c - b) / b if b > 0 else 0.0
+        if b < min_wall:
+            verdict = "noise-floor"
+        elif delta_pct > max_regress:
+            verdict = "REGRESSED"
+            failures.append(
+                f"stage '{stage}' regressed {delta_pct:.1f}% "
+                f"({b:.4f}s -> {c:.4f}s, limit {max_regress:.0f}%)"
+            )
+        else:
+            verdict = "ok"
+        print(f"{stage:<22} {b:>10.4f} {c:>10.4f} {delta_pct:>+8.1f}%  {verdict}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json snapshots, fail on stage regression"
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="explicit BASELINE CANDIDATE pair (else scan --dir)")
+    parser.add_argument("--dir", type=Path, default=Path("."),
+                        help="directory scanned for BENCH_*.json when no paths given")
+    parser.add_argument("--max-regress", type=float, default=25.0,
+                        help="max allowed stage wall-time growth in percent")
+    parser.add_argument("--min-wall", type=float, default=0.05,
+                        help="baseline seconds below which a stage cannot fail")
+    args = parser.parse_args(argv)
+
+    if args.paths and len(args.paths) != 2:
+        parser.error("expected exactly two paths (BASELINE CANDIDATE) or none")
+    if args.paths:
+        base_path, cand_path = args.paths
+    else:
+        pair = pick_newest_two(args.dir)
+        if pair is None:
+            print(f"bench_compare: fewer than two BENCH_*.json in {args.dir}; nothing to compare")
+            return 0
+        base_path, cand_path = pair
+
+    base, cand = load_bench(base_path), load_bench(cand_path)
+    print(f"baseline:  {base_path} (sha {str(base.get('git_sha'))[:12]})")
+    print(f"candidate: {cand_path} (sha {str(cand.get('git_sha'))[:12]})")
+    print()
+    bw, cw = base.get("workers", 1) or 1, cand.get("workers", 1) or 1
+    if bw != cw:
+        # Stage walls are summed across worker processes, so runs at
+        # different worker counts are not comparable.
+        print(
+            f"bench_compare: worker counts differ (baseline {bw}, candidate {cw}); "
+            "stage walls are per-process sums — skipping comparison"
+        )
+        return 0
+    failures = compare(base, cand, args.max_regress, args.min_wall)
+    print()
+    if failures:
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("bench_compare: no stage regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

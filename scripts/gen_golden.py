@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Regenerate the golden communication-matrix fixtures.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_golden.py [--out tests/golden]
+
+Writes one JSON fixture per (app, nranks) pair covering every app in the
+suite at tiny scales (8 and 16 ranks). The fixtures pin the paper-facing
+numbers — full byte/message matrices, totals, topology degree — so a
+synthesizer refactor that changes any of them fails
+``tests/test_golden_matrices.py`` instead of silently shifting results.
+
+Only rerun this when a change to the synthesizers is *intended* to change
+the communication structure; commit the diff together with the change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from hfast.apps import available_apps, synthesize
+from hfast.matrix import reduce_matrix
+from hfast.topology import analyze_topology
+
+GOLDEN_SCALES = (8, 16)
+
+
+def build_fixture(app: str, nranks: int) -> dict:
+    trace = synthesize(app, nranks)
+    cm = reduce_matrix(trace.batch if trace.batch is not None else trace.records, nranks)
+    topo = analyze_topology(cm)
+    return {
+        "app": app,
+        "nranks": nranks,
+        "call_totals": trace.call_totals,
+        "total_bytes": cm.total_bytes,
+        "total_messages": cm.total_messages,
+        "max_degree": topo.max_degree,
+        "bytes_matrix": cm.bytes_matrix.tolist(),
+        "msg_matrix": cm.msg_matrix.tolist(),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="tests/golden", help="fixture directory")
+    args = parser.parse_args()
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for app in available_apps():
+        for nranks in GOLDEN_SCALES:
+            path = out / f"{app}_p{nranks}.json"
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(build_fixture(app, nranks), fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,6 +3,7 @@
 Subcommands::
 
     python -m hfast analyze [--apps a,b] [--scales 16,64] [--profile]
+                            [--workers N] [--shard i/m] [--strict]
                             [--trace-out T.jsonl] [--metrics-out M.json]
                             [--report-dir DIR] [--bench-dir DIR] ...
     python -m hfast report  --trace T.jsonl [--report-dir DIR] [--bench-dir DIR]
@@ -11,6 +12,12 @@ Subcommands::
 ``--profile`` turns the observability layer on; ``--trace-out`` /
 ``--metrics-out`` imply it. With no profiling flags, the pipeline runs
 with observability disabled (the near-zero-overhead path).
+
+``--workers N`` runs (app, scale) cells on a process pool; the merged
+output is deterministic and byte-identical to a serial run. ``--shard
+i/m`` selects every m-th cell starting at i, for splitting a sweep across
+hosts. A failing cell is reported and skipped; the exit code is nonzero
+only when every cell failed, or when any cell failed under ``--strict``.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ import argparse
 import json
 import sys
 
-from hfast.apps import APPS, available_apps
+from hfast.apps import APPS, BACKENDS, DEFAULT_BACKEND, available_apps
 from hfast.cache import DEFAULT_CACHE_DIR, CacheValidationError, ReproCache
 from hfast.interconnect import InterconnectConfig
 from hfast.obs.profile import Observability, configure
@@ -41,6 +48,18 @@ def _csv_ints(value: str) -> list[int]:
         raise argparse.ArgumentTypeError(f"expected comma-separated integers: {value!r}") from exc
 
 
+def _shard(value: str) -> tuple[int, int]:
+    """Parse --shard i/m (0-based shard index out of m shards)."""
+    try:
+        index_s, count_s = value.split("/", 1)
+        index, count = int(index_s), int(count_s)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected i/m (e.g. 0/2): {value!r}") from exc
+    if count <= 0 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(f"shard index must satisfy 0 <= i < m: {value!r}")
+    return (index, count)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hfast",
@@ -59,6 +78,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     p_an.add_argument("--no-store", action="store_true", help="do not write cache misses back")
     p_an.add_argument("--circuits", type=int, default=4, help="circuits per node for the hybrid eval")
+    p_an.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for parallel cell execution (default: serial)",
+    )
+    p_an.add_argument(
+        "--shard", type=_shard, default=None, metavar="i/m",
+        help="run only every m-th (app, scale) cell starting at i (0-based)",
+    )
+    p_an.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero if any cell fails (default: only if all fail)",
+    )
+    p_an.add_argument(
+        "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+        help="trace-synthesis backend (vector is the fast default)",
+    )
     p_an.add_argument("--profile", action="store_true", help="enable the observability layer")
     p_an.add_argument("--trace-out", default=None, help="JSONL span/event trace path (implies --profile)")
     p_an.add_argument("--metrics-out", default=None, help="metrics JSON export path (implies --profile)")
@@ -105,6 +140,9 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
             config=config,
             store=not args.no_store,
             argv=argv,
+            workers=args.workers,
+            shard=args.shard,
+            backend=args.backend,
         )
     except CacheValidationError as exc:
         print(f"error: cache validation failed: {exc}", file=sys.stderr)
@@ -131,6 +169,13 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
         if args.trace_out:
             print(f"trace: {args.trace_out}")
     obs.close()
+
+    cells = out["manifest"].get("cells") or []
+    failed = [c for c in cells if not c["ok"]]
+    for c in failed:
+        print(f"error: cell {c['app']}_p{c['nranks']} failed: {c['error']}", file=sys.stderr)
+    if failed and (args.strict or len(failed) == len(cells)):
+        return 1
     return 0
 
 

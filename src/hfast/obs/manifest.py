@@ -36,6 +36,8 @@ def build_manifest(
     scales: dict[str, list[int]],
     argv: list[str] | None = None,
     cwd: str | None = None,
+    workers: int = 1,
+    shard: tuple[int, int] | None = None,
 ) -> dict[str, Any]:
     return {
         "git_sha": git_sha(cwd),
@@ -45,5 +47,10 @@ def build_manifest(
         "argv": list(argv) if argv is not None else list(sys.argv),
         "apps": list(apps),
         "scales": {app: list(ns) for app, ns in scales.items()},
-        "cache": None,  # filled in when the run completes
+        "workers": workers,
+        "shard": {"index": shard[0], "count": shard[1]} if shard else None,
+        # Filled in when the run completes:
+        "cache": None,
+        "cells": None,
+        "failed_cells": [],
     }

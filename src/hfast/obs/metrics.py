@@ -158,6 +158,34 @@ class MetricsRegistry:
     def to_dict(self) -> dict[str, Any]:
         return {name: inst.to_dict() for name, inst in sorted(self._instruments.items())}
 
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Fold another registry's ``to_dict`` export into this registry.
+
+        The merge rule per instrument type: counters add, gauges take the
+        snapshot's value, histograms combine buckets and aggregates. This
+        is how per-cell worker metrics collapse into one run registry.
+        """
+        if not self.enabled:
+            return
+        for name, d in snapshot.items():
+            kind = d.get("type")
+            if kind == "counter":
+                self.counter(name).inc(d["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(d["value"])
+            elif kind == "histogram":
+                h = self.histogram(name)
+                for edge, cnt in d.get("buckets", {}).items():
+                    edge = int(edge)
+                    h.buckets[edge] = h.buckets.get(edge, 0) + cnt
+                h.count += d["count"]
+                h.sum += d["sum"]
+                for attr, pick in (("min", min), ("max", max)):
+                    other = d.get(attr)
+                    if other is not None:
+                        cur = getattr(h, attr)
+                        setattr(h, attr, other if cur is None else pick(cur, other))
+
     def to_text(self) -> str:
         """Flat, grep-friendly text export (one metric datum per line)."""
         lines = []

@@ -50,6 +50,7 @@ def build_report(events: list[dict[str, Any]]) -> dict[str, Any]:
         }
         for name, wall in sorted(stage_wall.items(), key=lambda kv: -kv[1])
     ]
+    cells = list((manifest or {}).get("cells") or [])
     return {
         "report_version": REPORT_VERSION,
         "manifest": manifest,
@@ -58,6 +59,7 @@ def build_report(events: list[dict[str, Any]]) -> dict[str, Any]:
             "total_wall_s": round(total_wall, 6),
             "peak_rss_kb": peak_rss,
             "stages": stages,
+            "cells": cells,
         },
     }
 
@@ -86,6 +88,14 @@ def render_markdown(report: dict[str, Any]) -> str:
                 f"- **cache:** {cache.get('hits', 0)} hits / "
                 f"{cache.get('misses', 0)} misses / {cache.get('stores', 0)} stores"
             )
+        if man.get("workers", 1) and man.get("workers", 1) > 1:
+            lines.append(f"- **workers:** {man['workers']}")
+        shard = man.get("shard")
+        if shard:
+            lines.append(f"- **shard:** {shard['index']}/{shard['count']}")
+        failed = man.get("failed_cells") or []
+        if failed:
+            lines.append(f"- **failed cells:** {', '.join(failed)}")
         lines.append("")
 
     for run in report.get("runs", []):
@@ -160,6 +170,16 @@ def render_markdown(report: dict[str, Any]) -> str:
                 f"| {st['stage']} | {st['calls']} | {st['wall_s']:.4f} | {st['pct']:.1f} |"
             )
         lines.append("")
+    cells = prof.get("cells", [])
+    if cells:
+        lines.append("## Cell timings")
+        lines.append("")
+        lines.append("| cell | status | wall (s) |")
+        lines.append("|---|---|---:|")
+        for c in cells:
+            status = "ok" if c.get("ok") else f"FAILED: {c.get('error', '?')}"
+            lines.append(f"| {c['app']}_p{c['nranks']} | {status} | {c.get('wall_s', 0):.4f} |")
+        lines.append("")
     return "\n".join(lines)
 
 
@@ -193,6 +213,7 @@ def write_report(
             "report_version": report["report_version"],
             "git_sha": man.get("git_sha"),
             "timestamp": man.get("timestamp"),
+            "workers": man.get("workers", 1),
             "profile": report.get("profile"),
             "runs": [
                 {

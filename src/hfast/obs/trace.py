@@ -204,6 +204,16 @@ class SpanTracer:
 
         return deco
 
+    def reserve_ids(self, n: int) -> int:
+        """Claim a block of n span ids; returns the offset to remap onto.
+
+        Used when merging span events produced by worker processes (whose
+        tracers all number from 1) into this tracer's id space.
+        """
+        base = self._next_id
+        self._next_id += n
+        return base
+
     def emit_event(self, kind: str, payload: dict[str, Any]) -> None:
         """Emit a non-span structured event (e.g. the run manifest)."""
         if not self.enabled:

@@ -1,27 +1,73 @@
 """Pipeline orchestration: trace -> matrix -> topology -> interconnect.
 
+The (app, nranks) analysis matrix is partitioned into *cells*. Cells run
+either serially (the default) or on a ``ProcessPoolExecutor`` backend
+(``workers > 1``); either way the merged output is deterministic — cell
+results, trace events, metrics, and cache statistics are stitched back
+together in cell-definition order, never completion order, so a
+``--workers 4`` run is byte-identical to a serial one (modulo wall-clock
+timing fields). ``--shard i/m`` selects a deterministic subset of cells so
+independent hosts can split a sweep and later union their caches.
+
+A failing cell does not abort the sweep: its error is recorded in the run
+manifest (``cells`` / ``failed_cells``) and the remaining cells still run.
+
 Every stage runs under an observability span; per-record message sizes
-feed the IPM-style log2 histograms; each (app, nranks) cell emits one
-``app_summary`` event carrying the full analysis result, which is what the
-run report is rendered from. A run manifest is emitted before any work and
-re-emitted with cache statistics once the run completes.
+feed the IPM-style log2 histograms; each cell emits one ``app_summary``
+event carrying the full analysis result, which is what the run report is
+rendered from. A run manifest is emitted before any work and re-emitted
+with per-cell timings and cache statistics once the run completes.
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Any
 
-from hfast.apps import available_apps, synthesize
-from hfast.cache import DEFAULT_CACHE_DIR, ReproCache
+import numpy as np
+
+from hfast.apps import DEFAULT_BACKEND, available_apps, synthesize
+from hfast.cache import DEFAULT_CACHE_DIR, CacheStats, ReproCache
 from hfast.interconnect import InterconnectConfig, evaluate_hybrid
 from hfast.matrix import reduce_matrix
 from hfast.obs.manifest import build_manifest
 from hfast.obs.metrics import log2_bucket
 from hfast.obs.profile import Observability, get_obs, using
-from hfast.records import Trace
+from hfast.records import SEND_CALLS, Trace
 from hfast.topology import analyze_topology
 
 DEFAULT_SCALES = (16, 64)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (app, nranks) unit of work, with its position in the sweep."""
+
+    app: str
+    nranks: int
+    index: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.app}_p{self.nranks}"
+
+
+def build_cells(apps: list[str], scales: dict[str, list[int]]) -> list[Cell]:
+    """Flatten the app x scale matrix into an ordered cell list."""
+    cells: list[Cell] = []
+    for app in apps:
+        for nranks in scales.get(app, list(DEFAULT_SCALES)):
+            cells.append(Cell(app=app, nranks=nranks, index=len(cells)))
+    return cells
+
+
+def shard_cells(cells: list[Cell], shard_index: int, shard_count: int) -> list[Cell]:
+    """Deterministic round-robin shard: cells whose index % count == index."""
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(f"shard index {shard_index} out of range for {shard_count} shards")
+    return [c for c in cells if c.index % shard_count == shard_index]
 
 
 def discover_scales(cache: ReproCache, apps: list[str]) -> dict[str, list[int]]:
@@ -43,6 +89,43 @@ def discover_scales(cache: ReproCache, apps: list[str]) -> dict[str, list[int]]:
     return scales
 
 
+def _observe_sizes(
+    trace: Trace, app: str, obs: Observability
+) -> dict[int, int]:
+    """Message-size bucket table; feeds the obs histograms when enabled.
+
+    Uses the columnar batch when the trace has one (unique sizes only, with
+    aggregated weights), so a million-record trace costs a handful of
+    ``observe`` calls instead of one per record.
+    """
+    local_buckets: dict[int, int] = {}
+    size_hist = obs.metrics.histogram("msg_size_bytes") if obs.enabled else None
+    app_hist = obs.metrics.histogram(f"msg_size_bytes.{app}") if obs.enabled else None
+    if trace.batch is not None:
+        b = trace.batch
+        mask = b.call_mask(SEND_CALLS) & (b.size > 0)
+        if mask.any():
+            sizes = b.size[mask]
+            uniq, inv = np.unique(sizes, return_inverse=True)
+            weights = np.bincount(inv, weights=b.count[mask].astype(np.float64))
+            for s, w in zip(uniq.tolist(), weights.tolist()):
+                w = int(w)
+                edge = log2_bucket(s)
+                local_buckets[edge] = local_buckets.get(edge, 0) + w
+                if size_hist is not None:
+                    size_hist.observe(s, weight=w)
+                    app_hist.observe(s, weight=w)
+        return local_buckets
+    for rec in trace.records:
+        if rec.is_send and rec.size > 0:
+            edge = log2_bucket(rec.size)
+            local_buckets[edge] = local_buckets.get(edge, 0) + rec.count
+            if size_hist is not None:
+                size_hist.observe(rec.size, weight=rec.count)
+                app_hist.observe(rec.size, weight=rec.count)
+    return local_buckets
+
+
 def analyze_app(
     app: str,
     nranks: int,
@@ -51,41 +134,28 @@ def analyze_app(
     config: InterconnectConfig | None = None,
     overrides: dict[str, Any] | None = None,
     store: bool = True,
+    backend: str = DEFAULT_BACKEND,
 ) -> dict[str, Any]:
     """Analyze one (app, nranks) cell and emit its app_summary event."""
     with using(obs), obs.tracer.span("analyze_app", app=app, nranks=nranks) as sp:
         trace: Trace | None = cache.load(app, nranks, overrides)
         if trace is None:
-            trace = synthesize(app, nranks, overrides)
+            trace = synthesize(app, nranks, overrides, backend=backend)
             if store:
                 cache.store(trace)
-        cm = reduce_matrix(trace.records, trace.nranks)
+        cm = reduce_matrix(
+            trace.batch if trace.batch is not None else trace.records, trace.nranks
+        )
         topo = analyze_topology(cm)
         ev = evaluate_hybrid(cm, config)
 
-        # The size-bucket table is part of the analysis result; the metric
-        # observes only happen when observability is on, keeping the
-        # disabled path free of per-record instrument calls.
-        local_buckets: dict[int, int] = {}
+        local_buckets = _observe_sizes(trace, app, obs)
         if obs.enabled:
-            size_hist = obs.metrics.histogram("msg_size_bytes")
-            app_hist = obs.metrics.histogram(f"msg_size_bytes.{app}")
-            for rec in trace.records:
-                if rec.is_send and rec.size > 0:
-                    size_hist.observe(rec.size, weight=rec.count)
-                    app_hist.observe(rec.size, weight=rec.count)
-                    edge = log2_bucket(rec.size)
-                    local_buckets[edge] = local_buckets.get(edge, 0) + rec.count
             for call, total in trace.call_totals.items():
                 obs.metrics.counter(f"calls.{call}").inc(total)
             obs.metrics.counter("pipeline.bytes_total").inc(cm.total_bytes)
             obs.metrics.counter("pipeline.messages_total").inc(cm.total_messages)
             obs.metrics.counter("pipeline.apps_analyzed").inc()
-        else:
-            for rec in trace.records:
-                if rec.is_send and rec.size > 0:
-                    edge = log2_bucket(rec.size)
-                    local_buckets[edge] = local_buckets.get(edge, 0) + rec.count
 
         top_peers = []
         for rank, _deg in sorted(
@@ -116,6 +186,74 @@ def analyze_app(
         return summary
 
 
+def _execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
+    """Worker entry point: run one cell in its own process.
+
+    Builds a private cache handle and observability buffer, so everything
+    the cell produced (summary, span/app_summary events, metrics, cache
+    statistics) comes back as one picklable result the parent merges
+    deterministically.
+    """
+    obs = Observability(enabled=payload["profiled"], keep_events=True)
+    cache = ReproCache(payload["cache_dir"], readonly=not payload["store"])
+    t0 = time.perf_counter()
+    ok, summary, error = True, None, None
+    try:
+        summary = analyze_app(
+            payload["app"],
+            payload["nranks"],
+            cache,
+            obs,
+            config=payload["config"],
+            overrides=payload.get("overrides"),
+            store=payload["store"],
+            backend=payload["backend"],
+        )
+    except Exception as exc:  # surfaced per-cell, never aborts the sweep
+        ok, error = False, f"{type(exc).__name__}: {exc}"
+    return {
+        "app": payload["app"],
+        "nranks": payload["nranks"],
+        "index": payload["index"],
+        "ok": ok,
+        "error": error,
+        "summary": summary,
+        "wall_s": time.perf_counter() - t0,
+        "events": obs.events,
+        "metrics": obs.metrics.to_dict() if obs.enabled else {},
+        "cache": cache.stats.to_dict(),
+    }
+
+
+def _merge_cell_events(obs: Observability, events: list[dict[str, Any]]) -> None:
+    """Re-emit a worker cell's events through the parent tracer.
+
+    Span ids are remapped onto the parent's id space so the merged JSONL
+    trace stays collision-free; relative parent/child structure within the
+    cell is preserved.
+    """
+    if not obs.enabled or not events:
+        return
+    span_ids = [e["span_id"] for e in events if e.get("event") == "span"]
+    base = obs.tracer.reserve_ids(max(span_ids) if span_ids else 0)
+    for ev in events:
+        ev = dict(ev)
+        kind = ev.pop("event")
+        if kind == "span":
+            ev["span_id"] = ev["span_id"] + base
+            if ev.get("parent_id") is not None:
+                ev["parent_id"] = ev["parent_id"] + base
+        obs.tracer.emit_event(kind, ev)
+
+
+def _merge_cache_stats(target: CacheStats, snap: dict[str, Any]) -> None:
+    target.hits += snap.get("hits", 0)
+    target.misses += snap.get("misses", 0)
+    target.stores += snap.get("stores", 0)
+    target.validation_failures += snap.get("validation_failures", 0)
+    target.entries.extend(snap.get("entries", []))
+
+
 def run_pipeline(
     apps: list[str] | None = None,
     scales: dict[str, list[int]] | None = None,
@@ -124,24 +262,93 @@ def run_pipeline(
     config: InterconnectConfig | None = None,
     store: bool = True,
     argv: list[str] | None = None,
+    workers: int = 1,
+    shard: tuple[int, int] | None = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> dict[str, Any]:
-    """Run the full analysis matrix; returns {manifest, results}."""
+    """Run the analysis matrix; returns {manifest, results}.
+
+    ``workers > 1`` fans cells out over a process pool; ``shard=(i, m)``
+    restricts the run to every m-th cell starting at i. Failed cells are
+    recorded in ``manifest["cells"]`` / ``manifest["failed_cells"]`` and
+    excluded from ``results``.
+    """
     obs = obs if obs is not None else get_obs()
     cache = ReproCache(cache_dir, readonly=not store)
     apps = list(apps) if apps else available_apps()
     scales = scales or discover_scales(cache, apps)
 
-    manifest = build_manifest(apps, scales, argv=argv)
+    cells = build_cells(apps, scales)
+    if shard is not None:
+        cells = shard_cells(cells, shard[0], shard[1])
+
+    manifest = build_manifest(apps, scales, argv=argv, workers=workers, shard=shard)
     obs.tracer.emit_event("manifest", manifest)
 
+    cell_reports: list[dict[str, Any]] = []
     results: list[dict[str, Any]] = []
-    with obs.tracer.span("pipeline", napps=len(apps)):
-        for app in apps:
-            for nranks in scales.get(app, list(DEFAULT_SCALES)):
-                results.append(
-                    analyze_app(app, nranks, cache, obs, config=config, store=store)
+    with obs.tracer.span("pipeline", napps=len(apps), ncells=len(cells), workers=workers):
+        if workers <= 1 or len(cells) <= 1:
+            for cell in cells:
+                t0 = time.perf_counter()
+                ok, summary, error = True, None, None
+                try:
+                    summary = analyze_app(
+                        cell.app, cell.nranks, cache, obs,
+                        config=config, store=store, backend=backend,
+                    )
+                except Exception as exc:
+                    ok, error = False, f"{type(exc).__name__}: {exc}"
+                cell_reports.append(
+                    {
+                        "app": cell.app,
+                        "nranks": cell.nranks,
+                        "ok": ok,
+                        "wall_s": round(time.perf_counter() - t0, 6),
+                        "error": error,
+                    }
                 )
+                if summary is not None:
+                    results.append(summary)
+        else:
+            payloads = [
+                {
+                    "app": cell.app,
+                    "nranks": cell.nranks,
+                    "index": cell.index,
+                    "cache_dir": cache_dir,
+                    "config": config,
+                    "store": store,
+                    "backend": backend,
+                    "profiled": obs.enabled,
+                }
+                for cell in cells
+            ]
+            with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+                raw = list(pool.map(_execute_cell, payloads))
+            # Completion order is nondeterministic; merge in cell order.
+            raw.sort(key=lambda r: r["index"])
+            for res in raw:
+                _merge_cell_events(obs, res["events"])
+                if obs.enabled:
+                    obs.metrics.merge_snapshot(res["metrics"])
+                _merge_cache_stats(cache.stats, res["cache"])
+                cell_reports.append(
+                    {
+                        "app": res["app"],
+                        "nranks": res["nranks"],
+                        "ok": res["ok"],
+                        "wall_s": round(res["wall_s"], 6),
+                        "error": res["error"],
+                    }
+                )
+                if res["summary"] is not None:
+                    results.append(res["summary"])
 
+    manifest["cells"] = cell_reports
+    manifest["failed_cells"] = [
+        f"{c['app']}_p{c['nranks']}" for c in cell_reports if not c["ok"]
+    ]
     manifest["cache"] = cache.stats.to_dict()
     obs.tracer.emit_event("manifest", manifest)
     return {"manifest": manifest, "results": results}

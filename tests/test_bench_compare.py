@@ -1,0 +1,90 @@
+"""The perf-trajectory guard: scripts/bench_compare.py.
+
+The comparer is imported as a module (no subprocess) and driven with
+synthetic BENCH documents so its pass/fail policy — the 25% regression
+gate and the noise floor for sub-tick stages — is pinned by tests.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).parent.parent / "scripts" / "bench_compare.py"
+spec = importlib.util.spec_from_file_location("bench_compare", SCRIPT)
+bench_compare = importlib.util.module_from_spec(spec)
+sys.modules["bench_compare"] = bench_compare
+spec.loader.exec_module(bench_compare)
+
+
+def write_bench(path: Path, stages: dict[str, float], sha="abc", stamp=None,
+                workers=1) -> Path:
+    doc = {
+        "git_sha": sha,
+        "timestamp": stamp,
+        "workers": workers,
+        "profile": {
+            "stages": [
+                {"stage": name, "calls": 1, "wall_s": wall, "pct": 0.0}
+                for name, wall in stages.items()
+            ]
+        },
+        "runs": [],
+    }
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def test_no_regression_passes(tmp_path, capsys):
+    base = write_bench(tmp_path / "BENCH_a.json", {"pipeline": 1.0, "matrix_reduce": 0.4})
+    cand = write_bench(tmp_path / "BENCH_b.json", {"pipeline": 1.1, "matrix_reduce": 0.38})
+    assert bench_compare.main([str(base), str(cand)]) == 0
+    assert "no stage regressions" in capsys.readouterr().out
+
+
+def test_regression_over_threshold_fails(tmp_path, capsys):
+    base = write_bench(tmp_path / "BENCH_a.json", {"pipeline": 1.0})
+    cand = write_bench(tmp_path / "BENCH_b.json", {"pipeline": 1.3})
+    assert bench_compare.main([str(base), str(cand)]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSED" in captured.out
+    assert "regressed 30.0%" in captured.err
+
+
+def test_noise_floor_masks_tiny_stages(tmp_path, capsys):
+    """A 10x blowup on a sub-tick stage is scheduler noise, not code."""
+    base = write_bench(tmp_path / "BENCH_a.json", {"cache_load": 0.003})
+    cand = write_bench(tmp_path / "BENCH_b.json", {"cache_load": 0.03})
+    assert bench_compare.main([str(base), str(cand), "--min-wall", "0.05"]) == 0
+    assert "noise-floor" in capsys.readouterr().out
+
+
+def test_dir_mode_picks_two_newest_by_timestamp(tmp_path):
+    write_bench(tmp_path / "BENCH_1.json", {"pipeline": 1.0}, stamp="2026-01-01T00:00:00")
+    base = write_bench(tmp_path / "BENCH_2.json", {"pipeline": 1.0}, stamp="2026-02-01T00:00:00")
+    cand = write_bench(tmp_path / "BENCH_3.json", {"pipeline": 2.0}, stamp="2026-03-01T00:00:00")
+    picked = bench_compare.pick_newest_two(tmp_path)
+    assert picked == [base, cand]
+    assert bench_compare.main(["--dir", str(tmp_path)]) == 1
+
+
+def test_dir_mode_with_single_snapshot_passes(tmp_path, capsys):
+    write_bench(tmp_path / "BENCH_only.json", {"pipeline": 1.0})
+    assert bench_compare.main(["--dir", str(tmp_path)]) == 0
+    assert "fewer than two" in capsys.readouterr().out
+
+
+def test_differing_worker_counts_skip_comparison(tmp_path, capsys):
+    """Parallel stage walls are per-process sums; never diff across counts."""
+    base = write_bench(tmp_path / "BENCH_a.json", {"pipeline": 1.0}, workers=1)
+    cand = write_bench(tmp_path / "BENCH_b.json", {"pipeline": 4.0}, workers=4)
+    assert bench_compare.main([str(base), str(cand)]) == 0
+    assert "worker counts differ" in capsys.readouterr().out
+
+
+def test_stage_present_on_one_side_is_reported_not_fatal(tmp_path, capsys):
+    base = write_bench(tmp_path / "BENCH_a.json", {"pipeline": 1.0, "old_stage": 0.5})
+    cand = write_bench(tmp_path / "BENCH_b.json", {"pipeline": 1.0, "new_stage": 0.5})
+    assert bench_compare.main([str(base), str(cand)]) == 0
+    out = capsys.readouterr().out
+    assert "only-in-baseline" in out and "only-in-candidate" in out

@@ -1,0 +1,59 @@
+"""Golden communication-matrix fixtures.
+
+Tiny-scale (8/16-rank) matrices for every app are committed under
+``tests/golden/``; these tests pin the paper-facing numbers so a
+synthesizer refactor (vectorization, dtype changes, regrouping) cannot
+silently change them. Regenerate intentionally with::
+
+    PYTHONPATH=src python scripts/gen_golden.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from hfast.apps import available_apps, synthesize
+from hfast.matrix import reduce_matrix
+from hfast.topology import analyze_topology
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+CASES = [(app, n) for app in ("cactus", "gtc", "lbmhd", "paratec") for n in (8, 16)]
+
+
+def load_fixture(app: str, nranks: int) -> dict:
+    path = GOLDEN_DIR / f"{app}_p{nranks}.json"
+    assert path.exists(), f"missing golden fixture {path}; run scripts/gen_golden.py"
+    return json.loads(path.read_text())
+
+
+def test_fixture_set_is_complete():
+    assert {(a, n) for a, n in CASES} <= {
+        (f["app"], f["nranks"])
+        for f in (json.loads(p.read_text()) for p in GOLDEN_DIR.glob("*.json"))
+    }
+    assert set(available_apps()) == {"cactus", "gtc", "lbmhd", "paratec"}
+
+
+@pytest.mark.parametrize("app,nranks", CASES)
+def test_matrix_matches_golden(app, nranks):
+    golden = load_fixture(app, nranks)
+    trace = synthesize(app, nranks)
+    cm = reduce_matrix(trace.batch if trace.batch is not None else trace.records, nranks)
+    assert cm.bytes_matrix.tolist() == golden["bytes_matrix"]
+    assert cm.msg_matrix.tolist() == golden["msg_matrix"]
+    assert cm.total_bytes == golden["total_bytes"]
+    assert cm.total_messages == golden["total_messages"]
+    assert trace.call_totals == golden["call_totals"]
+    assert analyze_topology(cm).max_degree == golden["max_degree"]
+
+
+@pytest.mark.parametrize("app,nranks", CASES)
+def test_scalar_backend_matches_golden(app, nranks):
+    """The reference per-record path must agree with the committed numbers."""
+    golden = load_fixture(app, nranks)
+    trace = synthesize(app, nranks, backend="scalar")
+    cm = reduce_matrix(trace.records, nranks)
+    assert cm.bytes_matrix.tolist() == golden["bytes_matrix"]
+    assert cm.total_bytes == golden["total_bytes"]
+    assert trace.call_totals == golden["call_totals"]

@@ -1,0 +1,123 @@
+"""Property-based invariant tests for the trace synthesizers.
+
+Seeded stdlib ``random`` drives (nranks, overrides) sampling — no new
+dependencies — and every sampled case must uphold the structural
+invariants the paper's analysis relies on:
+
+- vector and scalar backends serialize to byte-identical cache documents;
+- every byte sent is received (send/recv matrix agreement);
+- symmetric apps (cactus, lbmhd, paratec) produce symmetric matrices;
+- topology degree never exceeds nranks - 1;
+- top-k traffic concentration is monotone in k and reaches 1.0.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from hfast.apps import available_apps, synthesize
+from hfast.matrix import reduce_matrix
+from hfast.topology import analyze_topology
+
+SYMMETRIC_APPS = ("cactus", "lbmhd", "paratec")  # gtc shifts particles one way
+
+OVERRIDE_KNOBS = {
+    "cactus": ("steps", "ghost_bytes"),
+    "gtc": ("steps", "particle_bytes"),
+    "lbmhd": ("steps", "lattice_bytes"),
+    "paratec": ("fft_cycles", "grid_bytes"),
+}
+
+
+def sample_cases(app: str, n_cases: int = 8) -> list[tuple[int, dict]]:
+    rng = random.Random(f"hfast-{app}")
+    cases = []
+    for _ in range(n_cases):
+        nranks = rng.choice([1, 2, 3, 4, 5, 8, 12, 16, 24, 27, 32, 48, 64])
+        overrides = {}
+        steps_key, bytes_key = OVERRIDE_KNOBS[app]
+        if rng.random() < 0.6:
+            overrides[steps_key] = rng.randint(1, 20)
+        if rng.random() < 0.4:
+            overrides[bytes_key] = rng.choice([64, 4096, 65536, 300000])
+        cases.append((nranks, overrides))
+    return cases
+
+
+@pytest.mark.parametrize("app", ["cactus", "gtc", "lbmhd", "paratec"])
+def test_vector_scalar_documents_identical(app):
+    for nranks, overrides in sample_cases(app):
+        vec = synthesize(app, nranks, dict(overrides), backend="vector")
+        sca = synthesize(app, nranks, dict(overrides), backend="scalar")
+        assert json.dumps(vec.to_document()) == json.dumps(sca.to_document()), (
+            f"backend divergence for {app} p{nranks} {overrides}"
+        )
+
+
+@pytest.mark.parametrize("app", ["cactus", "gtc", "lbmhd", "paratec"])
+def test_byte_and_message_conservation(app):
+    """Send-derived and recv-derived matrices agree pairwise."""
+    for nranks, overrides in sample_cases(app):
+        trace = synthesize(app, nranks, dict(overrides))
+        sends, recvs = {}, {}
+        for r in trace.records:
+            if r.size <= 0:
+                continue
+            if r.is_send:
+                sends[(r.rank, r.peer)] = sends.get((r.rank, r.peer), 0) + r.bytes_moved
+            elif r.is_recv:
+                recvs[(r.peer, r.rank)] = recvs.get((r.peer, r.rank), 0) + r.bytes_moved
+        assert sends == recvs, f"conservation violated for {app} p{nranks} {overrides}"
+        # Call counts balance too: one receive posted per send.
+        totals = trace.call_totals
+        assert totals.get("MPI_Isend", 0) == totals.get("MPI_Irecv", 0)
+
+
+@pytest.mark.parametrize("app", SYMMETRIC_APPS)
+def test_symmetric_apps_yield_symmetric_matrices(app):
+    for nranks, overrides in sample_cases(app):
+        trace = synthesize(app, nranks, dict(overrides))
+        cm = reduce_matrix(trace.batch, nranks)
+        assert np.array_equal(cm.bytes_matrix, cm.bytes_matrix.T), (
+            f"asymmetric matrix for {app} p{nranks} {overrides}"
+        )
+        assert np.array_equal(cm.msg_matrix, cm.msg_matrix.T)
+
+
+@pytest.mark.parametrize("app", ["cactus", "gtc", "lbmhd", "paratec"])
+def test_topology_degree_bounded(app):
+    for nranks, overrides in sample_cases(app):
+        trace = synthesize(app, nranks, dict(overrides))
+        topo = analyze_topology(reduce_matrix(trace.batch, nranks))
+        assert topo.max_degree <= max(0, nranks - 1), (
+            f"degree {topo.max_degree} exceeds bound for {app} p{nranks}"
+        )
+        assert all(0 <= d <= nranks - 1 for d in topo.degrees.tolist()) or nranks == 1
+
+
+@pytest.mark.parametrize("app", ["cactus", "gtc", "lbmhd", "paratec"])
+def test_concentration_monotone_and_complete(app):
+    for nranks, overrides in sample_cases(app):
+        trace = synthesize(app, nranks, dict(overrides))
+        cm = reduce_matrix(trace.batch, nranks)
+        # Include a k that covers every possible partner so the fractions
+        # must account for all traffic.
+        ks = (1, 2, 4, 8, 16, max(1, nranks))
+        conc = analyze_topology(cm, ks=ks).concentration
+        values = [conc[k] for k in ks]
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in values)
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:])), (
+            f"concentration not monotone for {app} p{nranks}: {values}"
+        )
+        if cm.total_bytes > 0:
+            assert values[-1] == pytest.approx(1.0), (
+                f"top-{ks[-1]} concentration should capture all traffic"
+            )
+
+
+def test_sampling_is_deterministic():
+    """The property suite must not flake: same seed, same cases."""
+    for app in available_apps():
+        assert sample_cases(app) == sample_cases(app)
