@@ -21,17 +21,25 @@ import argparse
 import json
 from pathlib import Path
 
+import numpy as np
+
 from hfast.apps import available_apps, synthesize
 from hfast.matrix import reduce_matrix
+from hfast.timing import DEFAULT_TIMING_SEED, TimingModel
 from hfast.topology import analyze_topology
 
 GOLDEN_SCALES = (8, 16)
 
 
 def build_fixture(app: str, nranks: int) -> dict:
-    trace = synthesize(app, nranks)
-    cm = reduce_matrix(trace.batch if trace.batch is not None else trace.records, nranks)
+    trace = synthesize(app, nranks, timing_seed=DEFAULT_TIMING_SEED)
+    batch = trace.ensure_batch()
+    cm = reduce_matrix(batch if batch is not None else trace.records, nranks)
     topo = analyze_topology(cm)
+    comm_time_s = float(np.sum(batch.total_time))
+    compute_time_s = TimingModel(app, nranks, seed=DEFAULT_TIMING_SEED).compute_time(None)
+    comm_per_rank = comm_time_s / nranks
+    pct_comm = 100.0 * comm_per_rank / (comm_per_rank + compute_time_s)
     return {
         "app": app,
         "nranks": nranks,
@@ -41,6 +49,9 @@ def build_fixture(app: str, nranks: int) -> dict:
         "max_degree": topo.max_degree,
         "bytes_matrix": cm.bytes_matrix.tolist(),
         "msg_matrix": cm.msg_matrix.tolist(),
+        "timing_seed": DEFAULT_TIMING_SEED,
+        "comm_time_s": comm_time_s,
+        "pct_comm": round(pct_comm, 3),
     }
 
 

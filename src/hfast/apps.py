@@ -30,6 +30,7 @@ import numpy as np
 
 from hfast.obs.profile import profiled
 from hfast.records import CommRecord, RecordBatch, Trace, aggregate
+from hfast.timing import DEFAULT_TIMING_SEED, apply_timing
 
 GeneratorFn = Callable[[int, dict[str, Any]], list[CommRecord]]
 VectorFn = Callable[[int, dict[str, Any]], RecordBatch]
@@ -76,8 +77,15 @@ def synthesize(
     nranks: int,
     overrides: dict[str, Any] | None = None,
     backend: str = DEFAULT_BACKEND,
+    timing_seed: int | None = DEFAULT_TIMING_SEED,
 ) -> Trace:
-    """Generate the aggregated trace for one app at one scale."""
+    """Generate the aggregated trace for one app at one scale.
+
+    Unless ``timing_seed`` is None, the LogGP timing model synthesizes
+    ``total_time``/``min_time``/``max_time`` onto the aggregated records;
+    the result is deterministic in (app, nranks, overrides, seed) and
+    byte-identical across backends.
+    """
     if app not in APPS:
         raise KeyError(f"unknown app '{app}' (available: {', '.join(available_apps())})")
     if nranks <= 0:
@@ -88,9 +96,13 @@ def synthesize(
     spec = APPS[app]
     if backend == "vector" and spec.vector_generator is not None:
         batch = spec.vector_generator(nranks, overrides).aggregate()
-        return Trace(app=app, nranks=nranks, batch=batch, overrides=overrides)
-    records = spec.generator(nranks, overrides)
-    return Trace(app=app, nranks=nranks, records=aggregate(records), overrides=overrides)
+        trace = Trace(app=app, nranks=nranks, batch=batch, overrides=overrides)
+    else:
+        records = spec.generator(nranks, overrides)
+        trace = Trace(app=app, nranks=nranks, records=aggregate(records), overrides=overrides)
+    if timing_seed is not None:
+        apply_timing(trace, seed=timing_seed)
+    return trace
 
 
 def _factor3(n: int) -> tuple[int, int, int]:

@@ -4,7 +4,13 @@ Cache files live in ``.repro_cache/`` and are named
 ``{app}_p{nranks}_{key}.json`` where ``key`` is the first 12 hex chars of
 the sha256 of the canonical JSON of ``{app, nranks, overrides}``.
 
-Every load runs the format-2 schema validator; a malformed file raises
+The on-disk schema is format 3: format 2 plus a ``metadata.timing``
+descriptor and real per-record ``total_time``/``min_time``/``max_time``
+values. Legacy format-2 documents (the seed corpus) still load through a
+read shim — the deterministic LogGP model re-synthesizes their timing at
+load time, so downstream analysis sees the same trace either way.
+
+Every load runs the schema validator; a malformed file raises
 :class:`CacheValidationError` naming the offending path and field.
 """
 
@@ -19,8 +25,10 @@ from typing import Any
 
 from hfast.obs.profile import profiled
 from hfast.records import Trace
+from hfast.timing import DEFAULT_TIMING_SEED, apply_timing
 
-CACHE_FORMAT = 2
+CACHE_FORMAT = 3
+SUPPORTED_FORMATS = (2, 3)
 DEFAULT_CACHE_DIR = ".repro_cache"
 
 _REQUIRED_TOP_KEYS = ("format", "metadata", "call_totals", "records")
@@ -36,7 +44,7 @@ _REQUIRED_RECORD_KEYS = (
     "min_time",
     "max_time",
 )
-_NON_NEGATIVE_RECORD_KEYS = ("rank", "size", "peer", "count", "total_time")
+_NON_NEGATIVE_RECORD_KEYS = ("rank", "size", "peer", "count", "total_time", "min_time", "max_time")
 
 
 class CacheValidationError(ValueError):
@@ -66,15 +74,17 @@ def cache_path(
 
 
 def validate_document(doc: Any, path: str | os.PathLike | None = None) -> None:
-    """Validate a format-2 cache document. Raises CacheValidationError."""
+    """Validate a format-3 (or legacy format-2) cache document."""
     if not isinstance(doc, dict):
         raise CacheValidationError(path, f"document must be an object, got {type(doc).__name__}")
     for key in _REQUIRED_TOP_KEYS:
         if key not in doc:
             raise CacheValidationError(path, f"missing required top-level key '{key}'")
-    if doc["format"] != CACHE_FORMAT:
+    if doc["format"] not in SUPPORTED_FORMATS:
         raise CacheValidationError(
-            path, f"unsupported format version {doc['format']!r} (expected {CACHE_FORMAT})"
+            path,
+            f"unsupported format version {doc['format']!r} "
+            f"(expected one of {SUPPORTED_FORMATS})",
         )
     meta = doc["metadata"]
     if not isinstance(meta, dict):
@@ -82,6 +92,18 @@ def validate_document(doc: Any, path: str | os.PathLike | None = None) -> None:
     for key in _REQUIRED_META_KEYS:
         if key not in meta:
             raise CacheValidationError(path, f"metadata missing required key '{key}'")
+    if doc["format"] >= 3:
+        if "timing" not in meta:
+            raise CacheValidationError(path, "format-3 metadata missing required key 'timing'")
+        timing = meta["timing"]
+        if timing is not None:
+            if not isinstance(timing, dict):
+                raise CacheValidationError(path, "metadata.timing must be an object or null")
+            for key in ("model", "seed"):
+                if key not in timing:
+                    raise CacheValidationError(
+                        path, f"metadata.timing missing required key '{key}'"
+                    )
     nranks = meta["nranks"]
     if not isinstance(nranks, int) or nranks <= 0:
         raise CacheValidationError(path, f"metadata.nranks must be a positive int, got {nranks!r}")
@@ -108,6 +130,12 @@ def validate_document(doc: Any, path: str | os.PathLike | None = None) -> None:
                     path,
                     f"records[{i}].{key}={rec[key]} out of range for nranks={nranks}",
                 )
+        if rec["min_time"] > rec["max_time"]:
+            raise CacheValidationError(
+                path,
+                f"records[{i}].min_time={rec['min_time']!r} exceeds "
+                f"max_time={rec['max_time']!r}",
+            )
     totals: dict[str, int] = {}
     for rec in records:
         totals[rec["call"]] = totals.get(rec["call"], 0) + rec["count"]
@@ -150,9 +178,20 @@ class ReproCache:
 
     @profiled("cache_load")
     def load(
-        self, app: str, nranks: int, overrides: dict[str, Any] | None = None
+        self,
+        app: str,
+        nranks: int,
+        overrides: dict[str, Any] | None = None,
+        timing_seed: int | None = DEFAULT_TIMING_SEED,
     ) -> Trace | None:
-        """Return the cached trace, or None on a miss."""
+        """Return the cached trace, or None on a miss.
+
+        Unless ``timing_seed`` is None, the loaded trace is guaranteed to
+        carry timing at that seed: legacy format-2 documents (and format-3
+        documents timed at a different seed) are deterministically
+        re-timed in memory — the read shim that keeps the seed corpus
+        useful after the format bump.
+        """
         path = self.path_for(app, nranks, overrides)
         if not path.exists():
             self.stats.misses += 1
@@ -175,7 +214,12 @@ class ReproCache:
         self.stats.entries.append(
             {"app": app, "nranks": nranks, "outcome": "hit", "path": str(path)}
         )
-        return Trace.from_document(doc)
+        trace = Trace.from_document(doc)
+        if timing_seed is not None and (
+            trace.timing is None or trace.timing.get("seed") != timing_seed
+        ):
+            apply_timing(trace, seed=timing_seed)
+        return trace
 
     @profiled("cache_store")
     def store(self, trace: Trace) -> Path:

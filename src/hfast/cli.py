@@ -4,6 +4,7 @@ Subcommands::
 
     python -m hfast analyze [--apps a,b] [--scales 16,64] [--profile]
                             [--workers N] [--shard i/m] [--strict]
+                            [--timing-seed N] [--timesteps N] [--reconfig-cost S]
                             [--trace-out T.jsonl] [--metrics-out M.json]
                             [--report-dir DIR] [--bench-dir DIR] ...
     python -m hfast report  --trace T.jsonl [--report-dir DIR] [--bench-dir DIR]
@@ -33,6 +34,7 @@ from hfast.obs.profile import Observability, configure
 from hfast.obs.report import build_report, write_report
 from hfast.obs.trace import JsonlSink, read_events
 from hfast.pipeline import discover_scales, run_pipeline
+from hfast.timing import DEFAULT_TIMING_SEED
 
 DEFAULT_REPORT_DIR = "reports"
 
@@ -78,6 +80,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     p_an.add_argument("--no-store", action="store_true", help="do not write cache misses back")
     p_an.add_argument("--circuits", type=int, default=4, help="circuits per node for the hybrid eval")
+    p_an.add_argument(
+        "--timing-seed", type=int, default=DEFAULT_TIMING_SEED,
+        help="seed for the deterministic LogGP timing model",
+    )
+    p_an.add_argument(
+        "--timesteps", type=int, default=4,
+        help="traffic slices for the temporal circuit evaluator (1 = static)",
+    )
+    p_an.add_argument(
+        "--reconfig-cost", type=float, default=1e-3,
+        help="seconds charged per circuit reconfiguration in the temporal evaluator",
+    )
     p_an.add_argument(
         "--workers", type=int, default=1,
         help="process-pool size for parallel cell execution (default: serial)",
@@ -130,7 +144,11 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
     if args.scales:
         scales = {app: list(args.scales) for app in apps}
 
-    config = InterconnectConfig(circuits_per_node=args.circuits)
+    config = InterconnectConfig(
+        circuits_per_node=args.circuits,
+        timesteps=args.timesteps,
+        reconfig_cost=args.reconfig_cost,
+    )
     try:
         out = run_pipeline(
             apps=apps,
@@ -143,6 +161,7 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
             workers=args.workers,
             shard=args.shard,
             backend=args.backend,
+            timing_seed=args.timing_seed,
         )
     except CacheValidationError as exc:
         print(f"error: cache validation failed: {exc}", file=sys.stderr)
@@ -150,11 +169,15 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
 
     for res in out["results"]:
         ic = res["interconnect"]
+        tmp = res["interconnect_temporal"]
+        tim = res["timing"]
         print(
             f"{res['app']:>8s} p{res['nranks']:<4d} "
             f"bytes={res['total_bytes']:>14,d} "
             f"maxdeg={res['topology']['max_degree']:>3d} "
-            f"coverage={ic['coverage']:.3f} speedup={ic['speedup']:.2f}x"
+            f"coverage={ic['coverage']:.3f} speedup={ic['speedup']:.2f}x "
+            f"tcov={tmp['coverage']:.3f} reconf={tmp['n_reconfigs']:>3d} "
+            f"comm={tim['pct_comm']:.1f}%"
         )
 
     if profiling:

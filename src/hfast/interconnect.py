@@ -3,9 +3,19 @@
 Models the paper's proposal: a Hybrid Flexibly Assignable Switch Topology
 where an optical circuit-switch layer provisions a bounded number of
 dedicated circuits per node for the heaviest links, and the residue rides
-a conventional packet network. The evaluator greedily assigns circuits,
-reports traffic coverage, and estimates transfer time for the hybrid vs. a
-packet-only fabric with a simple latency/bandwidth model.
+a conventional packet network.
+
+Two evaluators coexist:
+
+- :func:`evaluate_hybrid` — one static circuit assignment over the whole
+  trace, either the original greedy heaviest-first pass or a
+  degree-constrained max-weight matching (greedy + augmenting swaps, no
+  scipy) that never covers less traffic than greedy.
+- :func:`evaluate_temporal` — slices the communication matrix into
+  timesteps, re-matches circuits per step, and charges a reconfiguration
+  cost for every circuit established after the initial configuration.
+  With one timestep and zero reconfiguration cost it reduces exactly to
+  the static matching evaluation.
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ import numpy as np
 
 from hfast.matrix import CommMatrix
 from hfast.obs.profile import profiled
+from hfast.timing import mix64, mix64_vec
 
 
 @dataclass
@@ -25,6 +36,9 @@ class InterconnectConfig:
     packet_bandwidth: float = 1e9  # bytes/s shared packet fabric per node
     circuit_latency: float = 1e-6  # s, source-routed circuit
     packet_latency: float = 10e-6  # s, store-and-forward packet path
+    timesteps: int = 4  # temporal evaluator: number of traffic slices
+    reconfig_cost: float = 1e-3  # s per circuit established after t=0 (MEMS-scale)
+    slice_seed: int = 0  # seed for the deterministic traffic slicer
 
     def to_dict(self) -> dict:
         return {
@@ -33,6 +47,9 @@ class InterconnectConfig:
             "packet_bandwidth": self.packet_bandwidth,
             "circuit_latency": self.circuit_latency,
             "packet_latency": self.packet_latency,
+            "timesteps": self.timesteps,
+            "reconfig_cost": self.reconfig_cost,
+            "slice_seed": self.slice_seed,
         }
 
 
@@ -47,10 +64,12 @@ class HybridEvaluation:
     hybrid_time: float = 0.0
     packet_only_time: float = 0.0
     speedup: float = 1.0
+    strategy: str = "greedy"
 
     def to_dict(self) -> dict:
         return {
             "config": self.config.to_dict(),
+            "strategy": self.strategy,
             "n_circuits": len(self.circuits),
             "circuit_bytes": self.circuit_bytes,
             "packet_bytes": self.packet_bytes,
@@ -62,11 +81,46 @@ class HybridEvaluation:
         }
 
 
+@dataclass
+class TemporalEvaluation:
+    """Per-timestep circuit assignment with reconfiguration cost."""
+
+    config: InterconnectConfig
+    timesteps: int = 1
+    circuit_bytes: int = 0
+    packet_bytes: int = 0
+    coverage: float = 0.0
+    n_reconfigs: int = 0  # circuits established after the initial configuration
+    hybrid_time: float = 0.0
+    packet_only_time: float = 0.0
+    speedup: float = 1.0
+    static_coverage: float = 0.0  # static-greedy baseline on the same matrix
+    static_speedup: float = 1.0
+    per_step: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "timesteps": self.timesteps,
+            "reconfig_cost": self.config.reconfig_cost,
+            "circuit_bytes": self.circuit_bytes,
+            "packet_bytes": self.packet_bytes,
+            "coverage": round(self.coverage, 4),
+            "n_reconfigs": self.n_reconfigs,
+            "hybrid_time": self.hybrid_time,
+            "packet_only_time": self.packet_only_time,
+            "speedup": round(self.speedup, 3),
+            "static_coverage": round(self.static_coverage, 4),
+            "static_speedup": round(self.static_speedup, 3),
+            "per_step": list(self.per_step),
+        }
+
+
 def assign_circuits(cm: CommMatrix, circuits_per_node: int) -> list[tuple[int, int]]:
     """Greedy heaviest-first circuit assignment under a per-node budget.
 
     Circuits are unidirectional (src -> dst); each endpoint spends one
-    circuit from its budget (egress at src, ingress at dst).
+    circuit from its budget (egress at src, ingress at dst). Kept as the
+    baseline the matching assignment is measured against.
     """
     n = cm.nranks
     egress = np.zeros(n, dtype=np.int64)
@@ -85,16 +139,162 @@ def assign_circuits(cm: CommMatrix, circuits_per_node: int) -> list[tuple[int, i
     return assigned
 
 
+def assign_circuits_matching(
+    weights: np.ndarray, circuits_per_node: int, max_passes: int = 8
+) -> list[tuple[int, int]]:
+    """Degree-constrained max-weight matching via greedy + augmenting swaps.
+
+    A b-matching on the bipartite egress/ingress graph: each node may
+    source and sink at most ``circuits_per_node`` circuits. Seeds with the
+    greedy heaviest-first solution, then repeatedly swaps in an unselected
+    edge whenever its weight exceeds the lightest selected edges blocking
+    it (one per saturated endpoint). Every accepted swap strictly
+    increases total matched weight, so the result never covers less than
+    greedy — without scipy's linear_sum_assignment and in
+    O(passes * E * b) time.
+
+    Deterministic: the seed visits edges in exactly the order
+    :func:`assign_circuits` uses (so on tie-heavy matrices, where greedy's
+    outcome depends on tie-breaking, the seed IS the greedy baseline and
+    swaps can only improve on it); the swap passes visit edges in
+    (-weight, src, dst) order and pick victims by (weight, node) order.
+    """
+    if circuits_per_node <= 0:
+        return []
+    n = weights.shape[0]
+    src_idx, dst_idx = np.nonzero(weights > 0)
+    w = weights[src_idx, dst_idx].astype(np.float64)
+    order = np.lexsort((dst_idx, src_idx, -w))
+    edges = [(int(src_idx[i]), int(dst_idx[i]), float(w[i])) for i in order]
+
+    sel: dict[tuple[int, int], float] = {}
+    by_src: dict[int, set[int]] = {}
+    by_dst: dict[int, set[int]] = {}
+
+    def add(s: int, d: int, wt: float) -> None:
+        sel[(s, d)] = wt
+        by_src.setdefault(s, set()).add(d)
+        by_dst.setdefault(d, set()).add(s)
+
+    def remove(s: int, d: int) -> None:
+        del sel[(s, d)]
+        by_src[s].discard(d)
+        by_dst[d].discard(s)
+
+    # Greedy seed, edge order bit-identical to assign_circuits.
+    flat = weights.ravel()
+    for idx in np.argsort(flat)[::-1]:
+        if flat[idx] <= 0:
+            break
+        s, d = int(idx // n), int(idx % n)
+        if len(by_src.get(s, ())) < circuits_per_node and len(
+            by_dst.get(d, ())
+        ) < circuits_per_node:
+            add(s, d, float(flat[idx]))
+
+    # Per-endpoint candidate lists for the 2-for-1 augment, heaviest first.
+    edges_by_src: dict[int, list[tuple[int, int, float]]] = {}
+    edges_by_dst: dict[int, list[tuple[int, int, float]]] = {}
+    for s, d, wt in edges:
+        edges_by_src.setdefault(s, []).append((s, d, wt))
+        edges_by_dst.setdefault(d, []).append((s, d, wt))
+
+    for _ in range(max_passes):
+        improved = False
+        # 1-for-k swaps: evict the lightest blockers when one heavier edge
+        # pays for them (also restores maximality after prior evictions).
+        for s, d, wt in edges:
+            if (s, d) in sel:
+                continue
+            victims: list[tuple[int, int]] = []
+            if len(by_src.get(s, ())) >= circuits_per_node:
+                d2 = min(by_src[s], key=lambda x: (sel[(s, x)], x))
+                victims.append((s, d2))
+            if len(by_dst.get(d, ())) >= circuits_per_node:
+                s2 = min(by_dst[d], key=lambda x: (sel[(x, d)], x))
+                victims.append((s2, d))
+            if wt > sum(sel[v] for v in victims):
+                for vs, vd in victims:
+                    remove(vs, vd)
+                add(s, d, wt)
+                improved = True
+        # 2-for-1 augments: drop one circuit when the freed endpoints can
+        # host a heavier *set* of replacements (e.g. greedy grabbed a
+        # heavy edge whose two blocked neighbors together carry more).
+        for s, d in sorted(sel):
+            wt = sel[(s, d)]
+            remove(s, d)
+            picked: list[tuple[int, int, float]] = []
+            for es, ed, ew in sorted(
+                edges_by_src.get(s, []) + edges_by_dst.get(d, []),
+                key=lambda e: (-e[2], e[0], e[1]),
+            ):
+                if (es, ed) in sel or (es, ed) == (s, d):
+                    continue
+                if len(by_src.get(es, ())) < circuits_per_node and len(
+                    by_dst.get(ed, ())
+                ) < circuits_per_node:
+                    add(es, ed, ew)
+                    picked.append((es, ed, ew))
+            if sum(e[2] for e in picked) > wt:
+                improved = True
+            else:
+                for es, ed, _ in picked:
+                    remove(es, ed)
+                add(s, d, wt)
+        if not improved:
+            break
+    return sorted(sel)
+
+
+def _node_finish_times(
+    bytes_m: np.ndarray,
+    msg_m: np.ndarray,
+    circuit_mask: np.ndarray,
+    config: InterconnectConfig,
+) -> tuple[float, float]:
+    """(hybrid, packet-only) fabric finish times for one traffic matrix.
+
+    Per-node serialization: a node's cost is the max over its circuit and
+    packet egress streams; the fabric finishes when the slowest node does.
+    """
+    circ_bytes_out = np.where(circuit_mask, bytes_m, 0).sum(axis=1)
+    pkt_bytes_out = np.where(~circuit_mask, bytes_m, 0).sum(axis=1)
+    circ_msgs = np.where(circuit_mask, msg_m, 0).sum(axis=1)
+    pkt_msgs = np.where(~circuit_mask, msg_m, 0).sum(axis=1)
+
+    circ_time = circ_bytes_out / config.circuit_bandwidth + circ_msgs * config.circuit_latency
+    pkt_time = pkt_bytes_out / config.packet_bandwidth + pkt_msgs * config.packet_latency
+    hybrid = float(np.maximum(circ_time, pkt_time).max()) if bytes_m.shape[0] else 0.0
+
+    all_time = (
+        bytes_m.sum(axis=1) / config.packet_bandwidth
+        + msg_m.sum(axis=1) * config.packet_latency
+    )
+    packet_only = float(all_time.max()) if bytes_m.shape[0] else 0.0
+    return hybrid, packet_only
+
+
 @profiled("interconnect_eval")
-def evaluate_hybrid(cm: CommMatrix, config: InterconnectConfig | None = None) -> HybridEvaluation:
+def evaluate_hybrid(
+    cm: CommMatrix,
+    config: InterconnectConfig | None = None,
+    strategy: str = "greedy",
+) -> HybridEvaluation:
+    """Static circuit assignment over the whole-trace matrix."""
+    if strategy not in ("greedy", "matching"):
+        raise ValueError(f"unknown strategy {strategy!r} (expected 'greedy' or 'matching')")
     config = config or InterconnectConfig()
-    ev = HybridEvaluation(config=config)
+    ev = HybridEvaluation(config=config, strategy=strategy)
     total = cm.total_bytes
     if total == 0:
         ev.fully_provisionable = True
         return ev
 
-    ev.circuits = assign_circuits(cm, config.circuits_per_node)
+    if strategy == "matching":
+        ev.circuits = assign_circuits_matching(cm.bytes_matrix, config.circuits_per_node)
+    else:
+        ev.circuits = assign_circuits(cm, config.circuits_per_node)
     circuit_mask = np.zeros_like(cm.bytes_matrix, dtype=bool)
     for src, dst in ev.circuits:
         circuit_mask[src, dst] = True
@@ -105,23 +305,129 @@ def evaluate_hybrid(cm: CommMatrix, config: InterconnectConfig | None = None) ->
     active_links = cm.nonzero_links()
     ev.fully_provisionable = len(ev.circuits) == active_links
 
-    # Per-node serialization: a node's cost is the max over its circuit and
-    # packet egress streams; the fabric finishes when the slowest node does.
-    n = cm.nranks
-    circ_bytes_out = np.where(circuit_mask, cm.bytes_matrix, 0).sum(axis=1)
-    pkt_bytes_out = np.where(~circuit_mask, cm.bytes_matrix, 0).sum(axis=1)
-    circ_msgs = np.where(circuit_mask, cm.msg_matrix, 0).sum(axis=1)
-    pkt_msgs = np.where(~circuit_mask, cm.msg_matrix, 0).sum(axis=1)
-
-    circ_time = circ_bytes_out / config.circuit_bandwidth + circ_msgs * config.circuit_latency
-    pkt_time = pkt_bytes_out / config.packet_bandwidth + pkt_msgs * config.packet_latency
-    ev.hybrid_time = float(np.maximum(circ_time, pkt_time).max()) if n else 0.0
-
-    all_bytes_out = cm.bytes_matrix.sum(axis=1)
-    all_msgs = cm.msg_matrix.sum(axis=1)
-    ev.packet_only_time = float(
-        (all_bytes_out / config.packet_bandwidth + all_msgs * config.packet_latency).max()
+    ev.hybrid_time, ev.packet_only_time = _node_finish_times(
+        cm.bytes_matrix, cm.msg_matrix, circuit_mask, config
     )
     if ev.hybrid_time > 0:
         ev.speedup = ev.packet_only_time / ev.hybrid_time
+    return ev
+
+
+_SLICE_STREAM_START = 0x51A5E5EED5EED5E5
+_SLICE_STREAM_WIDTH = 0x1DEA7EA51DEA7EA5
+
+
+def slice_traffic(
+    cm: CommMatrix, timesteps: int, seed: int = 0
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Deterministically slice a matrix into per-timestep (bytes, msgs).
+
+    Each active link gets a hash-derived activity window (start phase and
+    width in steps); its volume spreads evenly across the window with the
+    integer remainder going to the earliest steps. Summing the slices
+    reproduces the input matrices exactly, and ``timesteps=1`` returns
+    the input unchanged — the paper's time-varying (AMR-style) traffic
+    stand-in for traces that only carry aggregate counts.
+    """
+    if timesteps <= 1:
+        return [(cm.bytes_matrix.copy(), cm.msg_matrix.copy())]
+    T = int(timesteps)
+    n = cm.nranks
+    src, dst = np.nonzero(cm.bytes_matrix)
+    if src.size == 0:
+        zero_b = np.zeros((n, n), dtype=cm.bytes_matrix.dtype)
+        zero_m = np.zeros((n, n), dtype=cm.msg_matrix.dtype)
+        return [(zero_b.copy(), zero_m.copy()) for _ in range(T)]
+    link_bytes = cm.bytes_matrix[src, dst].astype(np.int64)
+    link_msgs = cm.msg_matrix[src, dst].astype(np.int64)
+
+    key = (src.astype(np.uint64) << np.uint64(32)) ^ dst.astype(np.uint64)
+    h = mix64_vec(np.uint64(mix64(seed & ((1 << 64) - 1))) ^ key)
+    start = (h % np.uint64(T)).astype(np.int64)
+    width = (
+        mix64_vec(h ^ np.uint64(_SLICE_STREAM_WIDTH)) % np.uint64(T)
+    ).astype(np.int64) + 1  # in [1, T]
+
+    out: list[tuple[np.ndarray, np.ndarray]] = []
+    for t in range(T):
+        rel = (t - start) % T
+        active = rel < width
+        slices = []
+        for vol in (link_bytes, link_msgs):
+            base, rem = vol // width, vol % width
+            share = np.where(active, base + (rel < rem), 0)
+            mat = np.zeros((n, n), dtype=np.int64)
+            mat[src, dst] = share
+            slices.append(mat)
+        out.append((slices[0], slices[1]))
+    return out
+
+
+@profiled("interconnect_temporal")
+def evaluate_temporal(
+    cm: CommMatrix, config: InterconnectConfig | None = None
+) -> TemporalEvaluation:
+    """Per-timestep max-weight circuit assignment with reconfiguration cost.
+
+    Circuits are re-matched on every traffic slice. Keeping a circuit is
+    free; establishing one after the initial configuration costs
+    ``config.reconfig_cost`` seconds, and the matcher sees an equivalent
+    keep-bonus (``reconfig_cost * circuit_bandwidth`` bytes) on carried
+    links so it only reconfigures when the traffic gain pays for the
+    switch-over. With ``timesteps=1`` and zero cost this is exactly the
+    static matching evaluation.
+    """
+    config = config or InterconnectConfig()
+    T = max(1, int(config.timesteps))
+    ev = TemporalEvaluation(config=config, timesteps=T)
+    total = cm.total_bytes
+    if total == 0:
+        return ev
+
+    static = evaluate_hybrid(cm, config, strategy="greedy")
+    ev.static_coverage = static.coverage
+    ev.static_speedup = static.speedup
+
+    keep_bonus = config.reconfig_cost * config.circuit_bandwidth
+    prev: set[tuple[int, int]] = set()
+    circuit_bytes = 0
+    hybrid_time = 0.0
+    packet_time = 0.0
+    for t, (bytes_t, msgs_t) in enumerate(slice_traffic(cm, T, config.slice_seed)):
+        weights = bytes_t.astype(np.float64)
+        if t > 0 and keep_bonus > 0.0 and prev:
+            for s, d in prev:
+                if bytes_t[s, d] > 0:
+                    weights[s, d] += keep_bonus
+        circuits = assign_circuits_matching(weights, config.circuits_per_node)
+        changes = 0 if t == 0 else sum(1 for e in circuits if e not in prev)
+
+        circuit_mask = np.zeros_like(bytes_t, dtype=bool)
+        for s, d in circuits:
+            circuit_mask[s, d] = True
+        step_circuit_bytes = int(bytes_t[circuit_mask].sum())
+        circuit_bytes += step_circuit_bytes
+
+        step_hybrid, step_packet = _node_finish_times(bytes_t, msgs_t, circuit_mask, config)
+        hybrid_time += step_hybrid + changes * config.reconfig_cost
+        packet_time += step_packet
+        ev.n_reconfigs += changes
+        step_total = int(bytes_t.sum())
+        ev.per_step.append(
+            {
+                "t": t,
+                "n_circuits": len(circuits),
+                "changes": changes,
+                "coverage": round(step_circuit_bytes / step_total, 4) if step_total else 0.0,
+            }
+        )
+        prev = set(circuits)
+
+    ev.circuit_bytes = circuit_bytes
+    ev.packet_bytes = total - circuit_bytes
+    ev.coverage = circuit_bytes / total
+    ev.hybrid_time = hybrid_time
+    ev.packet_only_time = packet_time
+    if hybrid_time > 0:
+        ev.speedup = packet_time / hybrid_time
     return ev

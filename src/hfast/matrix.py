@@ -23,6 +23,11 @@ class CommMatrix:
     nranks: int
     bytes_matrix: np.ndarray  # [src, dst] payload bytes
     msg_matrix: np.ndarray  # [src, dst] message count
+    time_matrix: np.ndarray | None = None  # [src, dst] transfer seconds (zeros when untimed)
+
+    def __post_init__(self) -> None:
+        if self.time_matrix is None:
+            self.time_matrix = np.zeros_like(self.bytes_matrix, dtype=np.float64)
 
     @property
     def total_bytes(self) -> int:
@@ -31,6 +36,11 @@ class CommMatrix:
     @property
     def total_messages(self) -> int:
         return int(self.msg_matrix.sum())
+
+    @property
+    def total_comm_time(self) -> float:
+        """Sum of per-link point-to-point transfer seconds."""
+        return float(self.time_matrix.sum())
 
     def nonzero_links(self) -> int:
         return int(np.count_nonzero(self.bytes_matrix))
@@ -63,15 +73,17 @@ def reduce_matrix(records: Iterable[CommRecord] | RecordBatch, nranks: int) -> C
     """
     send_bytes = np.zeros((nranks, nranks), dtype=np.int64)
     send_msgs = np.zeros((nranks, nranks), dtype=np.int64)
+    send_time = np.zeros((nranks, nranks), dtype=np.float64)
     recv_bytes = np.zeros((nranks, nranks), dtype=np.int64)
     recv_msgs = np.zeros((nranks, nranks), dtype=np.int64)
+    recv_time = np.zeros((nranks, nranks), dtype=np.float64)
     if isinstance(records, RecordBatch):
         b = records
         active = (b.size > 0) & (b.rank != b.peer)
         moved = b.size.astype(np.int64) * b.count
-        for mask, by, ms, flip in (
-            (b.call_mask(SEND_CALLS) & active, send_bytes, send_msgs, False),
-            (b.call_mask(RECV_CALLS) & active, recv_bytes, recv_msgs, True),
+        for mask, by, ms, tm, flip in (
+            (b.call_mask(SEND_CALLS) & active, send_bytes, send_msgs, send_time, False),
+            (b.call_mask(RECV_CALLS) & active, recv_bytes, recv_msgs, recv_time, True),
         ):
             src = b.peer[mask] if flip else b.rank[mask]
             dst = b.rank[mask] if flip else b.peer[mask]
@@ -85,10 +97,15 @@ def reduce_matrix(records: Iterable[CommRecord] | RecordBatch, nranks: int) -> C
             ms += np.bincount(
                 flat, weights=b.count[mask].astype(np.float64), minlength=nranks * nranks
             ).reshape(nranks, nranks).astype(np.int64)
+            if b.has_times:
+                tm += np.bincount(
+                    flat, weights=b.total_time[mask], minlength=nranks * nranks
+                ).reshape(nranks, nranks)
         return CommMatrix(
             nranks=nranks,
             bytes_matrix=np.maximum(send_bytes, recv_bytes),
             msg_matrix=np.maximum(send_msgs, recv_msgs),
+            time_matrix=np.maximum(send_time, recv_time),
         )
     for r in records:
         if not r.is_ptp or r.size <= 0 or r.rank == r.peer:
@@ -96,11 +113,14 @@ def reduce_matrix(records: Iterable[CommRecord] | RecordBatch, nranks: int) -> C
         if r.is_send:
             send_bytes[r.rank, r.peer] += r.bytes_moved
             send_msgs[r.rank, r.peer] += r.count
+            send_time[r.rank, r.peer] += r.total_time
         elif r.is_recv:
             recv_bytes[r.peer, r.rank] += r.bytes_moved
             recv_msgs[r.peer, r.rank] += r.count
+            recv_time[r.peer, r.rank] += r.total_time
     return CommMatrix(
         nranks=nranks,
         bytes_matrix=np.maximum(send_bytes, recv_bytes),
         msg_matrix=np.maximum(send_msgs, recv_msgs),
+        time_matrix=np.maximum(send_time, recv_time),
     )

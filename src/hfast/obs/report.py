@@ -124,6 +124,23 @@ def render_markdown(report: dict[str, Any]) -> str:
                 f"({'fully' if ic.get('fully_provisionable') else 'partially'} provisionable), "
                 f"{ic.get('speedup', 1.0)}x vs packet-only"
             )
+        tmp = run.get("interconnect_temporal", {})
+        if tmp:
+            lines.append(
+                f"- temporal assignment ({tmp.get('timesteps', 1)} steps): "
+                f"{100 * tmp.get('coverage', 0):.1f}% coverage "
+                f"(static {100 * tmp.get('static_coverage', 0):.1f}%), "
+                f"{tmp.get('n_reconfigs', 0)} reconfigs, "
+                f"{tmp.get('speedup', 1.0)}x vs packet-only"
+            )
+        tim = run.get("timing", {})
+        if tim:
+            lines.append(
+                f"- timing (seed {tim.get('seed', 0)}): "
+                f"{tim.get('pct_comm', 0.0):.1f}% communication "
+                f"({tim.get('comm_time_s', 0.0):.4f} s comm vs "
+                f"{tim.get('compute_time_s', 0.0):.4f} s compute per rank)"
+            )
         lines.append("")
 
         totals = run.get("call_totals", {})
@@ -141,6 +158,14 @@ def render_markdown(report: dict[str, Any]) -> str:
             lines.append("|---|---:|")
             for edge, cnt in sorted(buckets.items(), key=lambda kv: int(kv[0])):
                 lines.append(f"| <= {_fmt_bytes(int(edge))} | {cnt} |")
+            lines.append("")
+
+        lat_buckets = (run.get("timing") or {}).get("latency_buckets", {})
+        if lat_buckets:
+            lines.append("| call latency bucket | calls |")
+            lines.append("|---|---:|")
+            for edge, cnt in sorted(lat_buckets.items(), key=lambda kv: int(kv[0])):
+                lines.append(f"| <= {int(edge)} µs | {cnt} |")
             lines.append("")
 
         peers = run.get("top_peers", [])
@@ -224,6 +249,9 @@ def write_report(
                     "max_degree": (r.get("topology") or {}).get("max_degree"),
                     "coverage": (r.get("interconnect") or {}).get("coverage"),
                     "speedup": (r.get("interconnect") or {}).get("speedup"),
+                    "pct_comm": (r.get("timing") or {}).get("pct_comm"),
+                    "temporal_coverage": (r.get("interconnect_temporal") or {}).get("coverage"),
+                    "temporal_speedup": (r.get("interconnect_temporal") or {}).get("speedup"),
                 }
                 for r in report.get("runs", [])
             ],

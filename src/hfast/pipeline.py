@@ -21,6 +21,7 @@ with per-cell timings and cache statistics once the run completes.
 
 from __future__ import annotations
 
+import math
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -30,12 +31,13 @@ import numpy as np
 
 from hfast.apps import DEFAULT_BACKEND, available_apps, synthesize
 from hfast.cache import DEFAULT_CACHE_DIR, CacheStats, ReproCache
-from hfast.interconnect import InterconnectConfig, evaluate_hybrid
+from hfast.interconnect import InterconnectConfig, evaluate_hybrid, evaluate_temporal
 from hfast.matrix import reduce_matrix
 from hfast.obs.manifest import build_manifest
 from hfast.obs.metrics import log2_bucket
 from hfast.obs.profile import Observability, get_obs, using
 from hfast.records import SEND_CALLS, Trace
+from hfast.timing import DEFAULT_TIMING_SEED, TimingModel
 from hfast.topology import analyze_topology
 
 DEFAULT_SCALES = (16, 64)
@@ -126,6 +128,72 @@ def _observe_sizes(
     return local_buckets
 
 
+def _observe_latencies(
+    trace: Trace, app: str, obs: Observability
+) -> dict[int, int]:
+    """Per-call mean-latency bucket table (microseconds), log2-bucketed.
+
+    The mean latency of an aggregated record is ``total_time / count``;
+    each record contributes its ``count`` calls at that latency. Like
+    :func:`_observe_sizes`, the columnar path collapses duplicate
+    latencies before touching the histogram instruments.
+    """
+    local_buckets: dict[int, int] = {}
+    lat_hist = obs.metrics.histogram("call_latency_usec") if obs.enabled else None
+    app_hist = obs.metrics.histogram(f"call_latency_usec.{app}") if obs.enabled else None
+    if trace.batch is not None and trace.batch.has_times:
+        b = trace.batch
+        mask = b.count > 0
+        if mask.any():
+            mean_usec = (b.total_time[mask] / b.count[mask]) * 1e6
+            uniq, inv = np.unique(mean_usec, return_inverse=True)
+            weights = np.bincount(inv, weights=b.count[mask].astype(np.float64))
+            for v, w in zip(uniq.tolist(), weights.tolist()):
+                w = int(w)
+                edge = log2_bucket(v)
+                local_buckets[edge] = local_buckets.get(edge, 0) + w
+                if lat_hist is not None:
+                    lat_hist.observe(v, weight=w)
+                    app_hist.observe(v, weight=w)
+        return local_buckets
+    for rec in trace.records:
+        if rec.count > 0 and rec.total_time > 0.0:
+            v = (rec.total_time / rec.count) * 1e6
+            edge = log2_bucket(v)
+            local_buckets[edge] = local_buckets.get(edge, 0) + rec.count
+            if lat_hist is not None:
+                lat_hist.observe(v, weight=rec.count)
+                app_hist.observe(v, weight=rec.count)
+    return local_buckets
+
+
+def _timing_summary(
+    trace: Trace,
+    timing_seed: int,
+    overrides: dict[str, Any] | None,
+    latency_buckets: dict[int, int],
+) -> dict[str, Any]:
+    """%comm block of an app summary: comm vs compute at the model's seed."""
+    if trace.batch is not None and trace.batch.has_times:
+        comm_time_s = float(np.sum(trace.batch.total_time))
+    else:
+        comm_time_s = math.fsum(r.total_time for r in trace.records)
+    model = TimingModel(trace.app, trace.nranks, seed=timing_seed)
+    compute_time_s = model.compute_time(overrides)
+    comm_per_rank = comm_time_s / trace.nranks
+    wall_time_s = comm_per_rank + compute_time_s
+    pct_comm = 100.0 * comm_per_rank / wall_time_s if wall_time_s > 0 else 0.0
+    return {
+        "seed": timing_seed,
+        "model": trace.timing.get("model") if trace.timing else None,
+        "comm_time_s": comm_time_s,
+        "compute_time_s": compute_time_s,
+        "wall_time_s": wall_time_s,
+        "pct_comm": round(pct_comm, 3),
+        "latency_buckets": {str(k): v for k, v in sorted(latency_buckets.items())},
+    }
+
+
 def analyze_app(
     app: str,
     nranks: int,
@@ -135,21 +203,27 @@ def analyze_app(
     overrides: dict[str, Any] | None = None,
     store: bool = True,
     backend: str = DEFAULT_BACKEND,
+    timing_seed: int = DEFAULT_TIMING_SEED,
 ) -> dict[str, Any]:
     """Analyze one (app, nranks) cell and emit its app_summary event."""
     with using(obs), obs.tracer.span("analyze_app", app=app, nranks=nranks) as sp:
-        trace: Trace | None = cache.load(app, nranks, overrides)
+        trace: Trace | None = cache.load(app, nranks, overrides, timing_seed=timing_seed)
         if trace is None:
-            trace = synthesize(app, nranks, overrides, backend=backend)
+            trace = synthesize(app, nranks, overrides, backend=backend, timing_seed=timing_seed)
             if store:
                 cache.store(trace)
+        # Columnarize loaded record lists so warm (cache-hit) and cold runs
+        # share the exact same vectorized float64 reductions.
+        trace.ensure_batch()
         cm = reduce_matrix(
             trace.batch if trace.batch is not None else trace.records, trace.nranks
         )
         topo = analyze_topology(cm)
         ev = evaluate_hybrid(cm, config)
+        ev_temporal = evaluate_temporal(cm, config)
 
         local_buckets = _observe_sizes(trace, app, obs)
+        latency_buckets = _observe_latencies(trace, app, obs)
         if obs.enabled:
             for call, total in trace.call_totals.items():
                 obs.metrics.counter(f"calls.{call}").inc(total)
@@ -179,6 +253,8 @@ def analyze_app(
             "top_peers": top_peers,
             "topology": topo.to_dict(),
             "interconnect": ev.to_dict(),
+            "interconnect_temporal": ev_temporal.to_dict(),
+            "timing": _timing_summary(trace, timing_seed, overrides, latency_buckets),
         }
         sp.set_attr("total_bytes", cm.total_bytes)
         sp.set_attr("max_degree", topo.max_degree)
@@ -208,6 +284,7 @@ def _execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
             overrides=payload.get("overrides"),
             store=payload["store"],
             backend=payload["backend"],
+            timing_seed=payload.get("timing_seed", DEFAULT_TIMING_SEED),
         )
     except Exception as exc:  # surfaced per-cell, never aborts the sweep
         ok, error = False, f"{type(exc).__name__}: {exc}"
@@ -265,6 +342,7 @@ def run_pipeline(
     workers: int = 1,
     shard: tuple[int, int] | None = None,
     backend: str = DEFAULT_BACKEND,
+    timing_seed: int = DEFAULT_TIMING_SEED,
 ) -> dict[str, Any]:
     """Run the analysis matrix; returns {manifest, results}.
 
@@ -296,6 +374,7 @@ def run_pipeline(
                     summary = analyze_app(
                         cell.app, cell.nranks, cache, obs,
                         config=config, store=store, backend=backend,
+                        timing_seed=timing_seed,
                     )
                 except Exception as exc:
                     ok, error = False, f"{type(exc).__name__}: {exc}"
@@ -320,6 +399,7 @@ def run_pipeline(
                     "config": config,
                     "store": store,
                     "backend": backend,
+                    "timing_seed": timing_seed,
                     "profiled": obs.enabled,
                 }
                 for cell in cells

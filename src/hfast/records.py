@@ -115,12 +115,24 @@ class RecordBatch:
 
     ``calls`` is a lexicographically sorted tuple of call names and
     ``call_code`` indexes into it, so sorting by code is sorting by call
-    name — the property canonical aggregation relies on. Synthesized
-    batches carry a single region and zero timing (cached traces have no
-    measured latencies yet; see ROADMAP).
+    name — the property canonical aggregation relies on. Timing columns
+    (``total_time``/``min_time``/``max_time``, float64) are optional:
+    batches come out of the synthesizers untimed and gain them when a
+    :mod:`hfast.timing` model is applied.
     """
 
-    __slots__ = ("rank", "call_code", "size", "peer", "count", "calls", "region")
+    __slots__ = (
+        "rank",
+        "call_code",
+        "size",
+        "peer",
+        "count",
+        "calls",
+        "region",
+        "total_time",
+        "min_time",
+        "max_time",
+    )
 
     def __init__(
         self,
@@ -141,9 +153,59 @@ class RecordBatch:
         self.count = count
         self.calls = tuple(calls)
         self.region = region
+        self.total_time: np.ndarray | None = None
+        self.min_time: np.ndarray | None = None
+        self.max_time: np.ndarray | None = None
 
     def __len__(self) -> int:
         return int(self.rank.shape[0])
+
+    @property
+    def has_times(self) -> bool:
+        return self.total_time is not None
+
+    def set_times(
+        self, total: np.ndarray, tmin: np.ndarray, tmax: np.ndarray
+    ) -> None:
+        """Attach float64 timing columns (one entry per record)."""
+        for arr in (total, tmin, tmax):
+            if arr.shape != self.rank.shape:
+                raise ValueError(
+                    f"timing column shape {arr.shape} != batch shape {self.rank.shape}"
+                )
+        self.total_time = total
+        self.min_time = tmin
+        self.max_time = tmax
+
+    @classmethod
+    def from_records(cls, records: list["CommRecord"]) -> "RecordBatch":
+        """Columnarize an already-canonical record list (timing included).
+
+        Used when a cached trace loads back as record dicts: analysis
+        paths then run the same vectorized code — and produce the same
+        float64 reductions — as a freshly synthesized batch. Records must
+        share one region (all cache documents do).
+        """
+        regions = {r.region for r in records}
+        if len(regions) > 1:
+            raise ValueError(f"from_records needs a single region, got {sorted(regions)}")
+        calls = tuple(sorted({r.call for r in records}))
+        code_of = {c: i for i, c in enumerate(calls)}
+        batch = cls(
+            rank=np.array([r.rank for r in records], dtype=np.int64),
+            call_code=np.array([code_of[r.call] for r in records], dtype=np.int16),
+            size=np.array([r.size for r in records], dtype=np.int64),
+            peer=np.array([r.peer for r in records], dtype=np.int64),
+            count=np.array([r.count for r in records], dtype=np.int64),
+            calls=calls,
+            region=next(iter(regions)) if records else "steady",
+        )
+        batch.set_times(
+            np.array([r.total_time for r in records], dtype=np.float64),
+            np.array([r.min_time for r in records], dtype=np.float64),
+            np.array([r.max_time for r in records], dtype=np.float64),
+        )
+        return batch
 
     @classmethod
     def from_parts(
@@ -240,9 +302,14 @@ class RecordBatch:
             | (peer[1:] != peer[:-1])
         )
         if boundary.all():  # no duplicate keys: skip the group-reduce
-            return RecordBatch(rank, code, size, peer, count, self.calls, self.region)
+            out = RecordBatch(rank, code, size, peer, count, self.calls, self.region)
+            if self.has_times:
+                out.set_times(
+                    self.total_time[order], self.min_time[order], self.max_time[order]
+                )
+            return out
         idx = np.flatnonzero(boundary)
-        return RecordBatch(
+        out = RecordBatch(
             rank=rank[idx],
             call_code=code[idx],
             size=size[idx],
@@ -251,6 +318,13 @@ class RecordBatch:
             calls=self.calls,
             region=self.region,
         )
+        if self.has_times:
+            out.set_times(
+                np.add.reduceat(self.total_time[order], idx),
+                np.minimum.reduceat(self.min_time[order], idx),
+                np.maximum.reduceat(self.max_time[order], idx),
+            )
+        return out
 
     def call_mask(self, names: frozenset[str] | set[str]) -> np.ndarray:
         """Boolean mask of records whose call is in ``names``."""
@@ -270,9 +344,16 @@ class RecordBatch:
                 totals[call] = t
         return totals
 
+    def _time_lists(self) -> tuple[list[float], list[float], list[float]]:
+        if self.has_times:
+            return self.total_time.tolist(), self.min_time.tolist(), self.max_time.tolist()
+        zeros = [0.0] * len(self)
+        return zeros, zeros, zeros
+
     def to_dicts(self) -> list[dict[str, Any]]:
         """Record dicts in the same field order ``CommRecord.to_dict`` uses."""
         region = self.region
+        totals, mins, maxs = self._time_lists()
         return [
             {
                 "rank": r,
@@ -281,28 +362,45 @@ class RecordBatch:
                 "peer": p,
                 "region": region,
                 "count": n,
-                "total_time": 0.0,
-                "min_time": 0.0,
-                "max_time": 0.0,
+                "total_time": tt,
+                "min_time": tn,
+                "max_time": tx,
             }
-            for r, c, s, p, n in zip(
+            for r, c, s, p, n, tt, tn, tx in zip(
                 self.rank.tolist(),
                 self.call_code.tolist(),
                 self.size.tolist(),
                 self.peer.tolist(),
                 self.count.tolist(),
+                totals,
+                mins,
+                maxs,
             )
         ]
 
     def to_records(self) -> list[CommRecord]:
+        totals, mins, maxs = self._time_lists()
         return [
-            CommRecord(rank=r, call=self.calls[c], size=s, peer=p, region=self.region, count=n)
-            for r, c, s, p, n in zip(
+            CommRecord(
+                rank=r,
+                call=self.calls[c],
+                size=s,
+                peer=p,
+                region=self.region,
+                count=n,
+                total_time=tt,
+                min_time=tn,
+                max_time=tx,
+            )
+            for r, c, s, p, n, tt, tn, tx in zip(
                 self.rank.tolist(),
                 self.call_code.tolist(),
                 self.size.tolist(),
                 self.peer.tolist(),
                 self.count.tolist(),
+                totals,
+                mins,
+                maxs,
             )
         ]
 
@@ -322,6 +420,7 @@ class Trace:
         records: list[CommRecord] | None = None,
         overrides: dict[str, Any] | None = None,
         batch: RecordBatch | None = None,
+        timing: dict[str, Any] | None = None,
     ):
         if records is None and batch is None:
             raise ValueError("Trace needs records or a batch")
@@ -330,6 +429,9 @@ class Trace:
         self.overrides = dict(overrides or {})
         self.batch = batch
         self._records = records
+        # Timing-model descriptor ({"model", "seed", "params"}) once a
+        # hfast.timing model has been applied; None on untimed traces.
+        self.timing = dict(timing) if timing else None
 
     @property
     def records(self) -> list[CommRecord]:
@@ -337,6 +439,22 @@ class Trace:
             assert self.batch is not None
             self._records = self.batch.to_records()
         return self._records
+
+    def ensure_batch(self) -> RecordBatch | None:
+        """Columnarize the record list if no batch exists yet.
+
+        Returns the batch (building it from records when possible), so
+        analysis paths run vectorized — with identical float64 reductions
+        — whether the trace was freshly synthesized or loaded from cache.
+        Returns None only for multi-region record lists, which stay on
+        the scalar path.
+        """
+        if self.batch is None and self._records is not None:
+            try:
+                self.batch = RecordBatch.from_records(self._records)
+            except ValueError:
+                return None
+        return self.batch
 
     @property
     def call_totals(self) -> dict[str, int]:
@@ -348,13 +466,19 @@ class Trace:
         return dict(sorted(totals.items()))
 
     def to_document(self) -> dict[str, Any]:
-        """Serialize to the on-disk repro-cache document (format 2)."""
+        """Serialize to the on-disk repro-cache document (format 3).
+
+        Format 3 adds ``metadata.timing`` (the timing-model descriptor,
+        null on untimed traces) on top of the format-2 schema; records
+        carry real ``total_time``/``min_time``/``max_time`` values.
+        """
         return {
-            "format": 2,
+            "format": 3,
             "metadata": {
                 "app": self.app,
                 "nranks": self.nranks,
                 "overrides": dict(self.overrides),
+                "timing": dict(self.timing) if self.timing else None,
             },
             "call_totals": self.call_totals,
             "records": (
@@ -366,12 +490,14 @@ class Trace:
 
     @classmethod
     def from_document(cls, doc: dict[str, Any]) -> "Trace":
+        """Rebuild a trace from a format-3 (or legacy format-2) document."""
         meta = doc["metadata"]
         return cls(
             app=str(meta["app"]),
             nranks=int(meta["nranks"]),
             overrides=dict(meta.get("overrides", {})),
             records=[CommRecord.from_dict(r) for r in doc["records"]],
+            timing=meta.get("timing"),
         )
 
 

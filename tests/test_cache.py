@@ -33,6 +33,15 @@ def valid_doc(nranks=2):
     }
 
 
+def valid_doc_v3(nranks=2):
+    doc = valid_doc(nranks)
+    doc["format"] = 3
+    doc["metadata"]["timing"] = {"model": "loggp", "seed": 0, "params": {}}
+    rec = doc["records"][0]
+    rec["total_time"], rec["min_time"], rec["max_time"] = 3e-5, 0.9e-5, 1.2e-5
+    return doc
+
+
 class TestKeying:
     def test_key_matches_seed_corpus(self):
         # Known filenames from the checked-in seed cache.
@@ -104,6 +113,36 @@ class TestValidator:
         for path in files:
             validate_document(json.loads(path.read_text()), path)
 
+    def test_valid_format3_document_passes(self):
+        validate_document(valid_doc_v3(), "x.json")
+
+    def test_format3_allows_null_timing(self):
+        doc = valid_doc_v3()
+        doc["metadata"]["timing"] = None
+        validate_document(doc, "x.json")
+
+    def test_format3_requires_timing_key(self):
+        doc = valid_doc_v3()
+        del doc["metadata"]["timing"]
+        with pytest.raises(CacheValidationError, match="timing"):
+            validate_document(doc, "f.json")
+
+    @pytest.mark.parametrize("key", ["model", "seed"])
+    def test_format3_timing_descriptor_fields_required(self, key):
+        doc = valid_doc_v3()
+        del doc["metadata"]["timing"][key]
+        with pytest.raises(CacheValidationError, match=key):
+            validate_document(doc, "f.json")
+
+    def test_rejects_min_time_above_max_time(self):
+        doc = valid_doc_v3()
+        doc["records"][0]["min_time"] = 5.0
+        with pytest.raises(CacheValidationError, match="min_time"):
+            validate_document(doc, "f.json")
+
+    def test_format2_does_not_require_timing(self):
+        validate_document(valid_doc(), "x.json")  # no metadata.timing key
+
 
 class TestReproCache:
     def test_miss_then_store_then_hit(self, tmp_path):
@@ -147,3 +186,26 @@ class TestReproCache:
         assert trace is not None
         assert trace.nranks == 16
         assert trace.call_totals["MPI_Isend"] == 672
+
+    def test_legacy_format2_load_retimes(self, repo_cache_dir):
+        """Format-2 seed documents gain deterministic timing at load."""
+        cache = ReproCache(repo_cache_dir, readonly=True)
+        trace = cache.load("cactus", 16, timing_seed=0)
+        assert trace.timing == {"model": "loggp", "seed": 0, "params": trace.timing["params"]}
+        assert all(r.total_time > 0 for r in trace.records)
+        untimed = cache.load("cactus", 16, timing_seed=None)
+        assert untimed.timing is None
+        assert all(r.total_time == 0.0 for r in untimed.records)
+
+    def test_seed_mismatch_retimes_on_load(self, tmp_path):
+        cache = ReproCache(tmp_path)
+        cache.store(synthesize("gtc", 4, timing_seed=1))
+        at1 = cache.load("gtc", 4, timing_seed=1)
+        at2 = cache.load("gtc", 4, timing_seed=2)
+        assert at1.timing["seed"] == 1 and at2.timing["seed"] == 2
+        t1 = [r.total_time for r in at1.records]
+        t2 = [r.total_time for r in at2.records]
+        assert t1 != t2
+        # same seed round-trips the stored values untouched
+        again = cache.load("gtc", 4, timing_seed=1)
+        assert [r.total_time for r in again.records] == t1

@@ -11,10 +11,14 @@ silently change them. Regenerate intentionally with::
 import json
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from hfast.apps import available_apps, synthesize
+from hfast.cache import validate_document
 from hfast.matrix import reduce_matrix
+from hfast.records import Trace
+from hfast.timing import apply_timing
 from hfast.topology import analyze_topology
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -57,3 +61,44 @@ def test_scalar_backend_matches_golden(app, nranks):
     assert cm.bytes_matrix.tolist() == golden["bytes_matrix"]
     assert cm.total_bytes == golden["total_bytes"]
     assert trace.call_totals == golden["call_totals"]
+
+
+@pytest.mark.parametrize("app,nranks", CASES)
+def test_timing_matches_golden(app, nranks):
+    """The LogGP model at the pinned seed reproduces the committed comm time."""
+    golden = load_fixture(app, nranks)
+    trace = synthesize(app, nranks, timing_seed=golden["timing_seed"])
+    batch = trace.ensure_batch()
+    assert batch.has_times
+    assert float(np.sum(batch.total_time)) == golden["comm_time_s"]
+    assert golden["comm_time_s"] > 0.0
+    assert 0.0 < golden["pct_comm"] < 100.0
+
+
+@pytest.mark.parametrize("app,nranks", CASES)
+def test_format2_shim_roundtrips_to_format3(app, nranks):
+    """A legacy format-2 document re-times to the exact format-3 bytes.
+
+    Downgrading a format-3 document (strip the timing descriptor, zero the
+    per-record times) and loading it through the read shim must reproduce
+    the original format-3 serialization byte for byte — the guarantee that
+    keeps the committed format-2 seed corpus equivalent to fresh caches.
+    """
+    trace = synthesize(app, nranks)
+    doc3 = trace.to_document()
+    validate_document(doc3)
+    assert doc3["format"] == 3
+
+    legacy = json.loads(json.dumps(doc3))
+    legacy["format"] = 2
+    del legacy["metadata"]["timing"]
+    for rec in legacy["records"]:
+        rec["total_time"] = rec["min_time"] = rec["max_time"] = 0.0
+    validate_document(legacy)
+
+    loaded = Trace.from_document(legacy)
+    assert loaded.timing is None
+    apply_timing(loaded, seed=doc3["metadata"]["timing"]["seed"])
+    assert json.dumps(loaded.to_document(), sort_keys=True) == json.dumps(
+        doc3, sort_keys=True
+    )

@@ -1,7 +1,32 @@
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
 from hfast.apps import synthesize
-from hfast.interconnect import InterconnectConfig, assign_circuits, evaluate_hybrid
-from hfast.matrix import reduce_matrix
+from hfast.interconnect import (
+    InterconnectConfig,
+    assign_circuits,
+    assign_circuits_matching,
+    evaluate_hybrid,
+    evaluate_temporal,
+    slice_traffic,
+)
+from hfast.matrix import CommMatrix, reduce_matrix
 from hfast.records import CommRecord
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+GOLDEN_CASES = [(app, n) for app in ("cactus", "gtc", "lbmhd", "paratec") for n in (8, 16)]
+
+
+def golden_matrix(app: str, nranks: int) -> CommMatrix:
+    fixture = json.loads((GOLDEN_DIR / f"{app}_p{nranks}.json").read_text())
+    return CommMatrix(
+        nranks=nranks,
+        bytes_matrix=np.array(fixture["bytes_matrix"], dtype=np.int64),
+        msg_matrix=np.array(fixture["msg_matrix"], dtype=np.int64),
+    )
 
 
 def ring_matrix(n=8):
@@ -57,3 +82,123 @@ def test_more_circuits_more_coverage():
     low = evaluate_hybrid(cm, InterconnectConfig(circuits_per_node=1))
     high = evaluate_hybrid(cm, InterconnectConfig(circuits_per_node=4))
     assert high.coverage > low.coverage
+
+
+# -- max-weight matching ------------------------------------------------------
+
+
+@pytest.mark.parametrize("app,nranks", GOLDEN_CASES)
+@pytest.mark.parametrize("budget", [1, 2, 4])
+def test_matching_never_below_greedy(app, nranks, budget):
+    """The augmenting matcher covers at least as many bytes as greedy."""
+    cm = golden_matrix(app, nranks)
+    greedy = evaluate_hybrid(cm, InterconnectConfig(circuits_per_node=budget))
+    matched = evaluate_hybrid(
+        cm, InterconnectConfig(circuits_per_node=budget), strategy="matching"
+    )
+    assert matched.circuit_bytes >= greedy.circuit_bytes
+    assert matched.coverage >= greedy.coverage
+
+
+@pytest.mark.parametrize("app,nranks", GOLDEN_CASES)
+def test_matching_respects_degree_budget(app, nranks):
+    cm = golden_matrix(app, nranks)
+    for budget in (1, 2, 4):
+        circuits = assign_circuits_matching(cm.bytes_matrix, budget)
+        egress = [0] * nranks
+        ingress = [0] * nranks
+        for s, d in circuits:
+            egress[s] += 1
+            ingress[d] += 1
+        assert max(egress, default=0) <= budget
+        assert max(ingress, default=0) <= budget
+        assert len(set(circuits)) == len(circuits)
+
+
+def test_matching_beats_greedy_on_adversarial_case():
+    """Greedy grabs the heavy diagonal edge; the matcher swaps it out."""
+    # Greedy takes (0,1)=10 first, saturating node 0's egress and node 1's
+    # ingress at budget 1, blocking (0,2)=9 and (3,1)=9 which together
+    # carry more. The matcher must recover that.
+    w = np.zeros((4, 4), dtype=np.int64)
+    w[0, 1], w[0, 2], w[3, 1] = 10, 9, 9
+    greedy_bytes = sum(
+        int(w[s, d]) for s, d in assign_circuits(
+            CommMatrix(4, w, np.zeros_like(w)), 1
+        )
+    )
+    matched_bytes = sum(int(w[s, d]) for s, d in assign_circuits_matching(w, 1))
+    assert matched_bytes == 18 > greedy_bytes
+
+
+def test_matching_empty_and_zero_budget():
+    w = np.zeros((4, 4), dtype=np.int64)
+    assert assign_circuits_matching(w, 4) == []
+    w[0, 1] = 5
+    assert assign_circuits_matching(w, 0) == []
+
+
+# -- temporal evaluator -------------------------------------------------------
+
+
+@pytest.mark.parametrize("app,nranks", GOLDEN_CASES)
+def test_slice_traffic_conserves_volume(app, nranks):
+    cm = golden_matrix(app, nranks)
+    for T in (1, 3, 4, 7):
+        slices = slice_traffic(cm, T, seed=0)
+        assert len(slices) == max(1, T)
+        bytes_sum = sum(b for b, _ in slices)
+        msgs_sum = sum(m for _, m in slices)
+        assert np.array_equal(bytes_sum, cm.bytes_matrix)
+        assert np.array_equal(msgs_sum, cm.msg_matrix)
+        for b, m in slices:
+            assert np.all(b >= 0) and np.all(m >= 0)
+
+
+def test_slice_traffic_is_seeded_and_deterministic():
+    cm = golden_matrix("lbmhd", 16)
+    a = slice_traffic(cm, 4, seed=1)
+    b = slice_traffic(cm, 4, seed=1)
+    c = slice_traffic(cm, 4, seed=2)
+    assert all(np.array_equal(x[0], y[0]) for x, y in zip(a, b))
+    assert any(not np.array_equal(x[0], y[0]) for x, y in zip(a, c))
+
+
+def test_temporal_single_step_zero_cost_reduces_to_static_matching():
+    """T=1, cost=0 must reproduce the static matching evaluation exactly."""
+    for app, nranks in GOLDEN_CASES:
+        cm = golden_matrix(app, nranks)
+        config = InterconnectConfig(timesteps=1, reconfig_cost=0.0)
+        temporal = evaluate_temporal(cm, config)
+        static = evaluate_hybrid(cm, config, strategy="matching")
+        assert temporal.n_reconfigs == 0
+        assert temporal.circuit_bytes == static.circuit_bytes
+        assert temporal.coverage == static.coverage
+        assert temporal.hybrid_time == static.hybrid_time
+        assert temporal.packet_only_time == static.packet_only_time
+
+
+@pytest.mark.parametrize("app,nranks", GOLDEN_CASES)
+def test_temporal_coverage_at_least_static_greedy(app, nranks):
+    """Re-matching per timestep never covers less than one static greedy pass."""
+    cm = golden_matrix(app, nranks)
+    temporal = evaluate_temporal(cm, InterconnectConfig(timesteps=4))
+    assert temporal.coverage >= temporal.static_coverage
+    assert temporal.circuit_bytes + temporal.packet_bytes == cm.total_bytes
+    assert len(temporal.per_step) == 4
+    assert temporal.per_step[0]["changes"] == 0  # initial configuration is free
+
+
+def test_reconfig_cost_discourages_switching():
+    """An expensive switch-over must never increase the reconfig count."""
+    cm = golden_matrix("paratec", 16)
+    cheap = evaluate_temporal(cm, InterconnectConfig(timesteps=4, reconfig_cost=0.0))
+    costly = evaluate_temporal(cm, InterconnectConfig(timesteps=4, reconfig_cost=10.0))
+    assert costly.n_reconfigs <= cheap.n_reconfigs
+
+
+def test_temporal_empty_matrix():
+    ev = evaluate_temporal(reduce_matrix([], 4), InterconnectConfig(timesteps=4))
+    assert ev.coverage == 0.0
+    assert ev.n_reconfigs == 0
+    assert ev.per_step == []

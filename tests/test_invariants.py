@@ -4,11 +4,14 @@ Seeded stdlib ``random`` drives (nranks, overrides) sampling — no new
 dependencies — and every sampled case must uphold the structural
 invariants the paper's analysis relies on:
 
-- vector and scalar backends serialize to byte-identical cache documents;
+- vector and scalar backends serialize to byte-identical cache documents
+  (timing fields included);
 - every byte sent is received (send/recv matrix agreement);
 - symmetric apps (cactus, lbmhd, paratec) produce symmetric matrices;
 - topology degree never exceeds nranks - 1;
-- top-k traffic concentration is monotone in k and reaches 1.0.
+- top-k traffic concentration is monotone in k and reaches 1.0;
+- synthesized LogGP times are strictly positive and monotone
+  nondecreasing in message size at a fixed (rank, peer, call).
 """
 
 import json
@@ -115,6 +118,50 @@ def test_concentration_monotone_and_complete(app):
             assert values[-1] == pytest.approx(1.0), (
                 f"top-{ks[-1]} concentration should capture all traffic"
             )
+
+
+@pytest.mark.parametrize("app", ["cactus", "gtc", "lbmhd", "paratec"])
+def test_times_positive_and_bounded(app):
+    """Every sampled case synthesizes strictly positive, finite times."""
+    for nranks, overrides in sample_cases(app):
+        trace = synthesize(app, nranks, dict(overrides))
+        b = trace.ensure_batch()
+        assert b.has_times, f"untimed batch for {app} p{nranks}"
+        for col in (b.total_time, b.min_time, b.max_time):
+            assert np.all(np.isfinite(col)) and np.all(col > 0.0), (
+                f"non-positive time for {app} p{nranks} {overrides}"
+            )
+        assert np.all(b.min_time <= b.max_time)
+
+
+@pytest.mark.parametrize("app", ["cactus", "gtc", "lbmhd", "paratec"])
+def test_times_monotone_in_size_per_stream(app):
+    """Within one (rank, peer, call) stream, mean time tracks message size."""
+    for nranks, overrides in sample_cases(app, n_cases=4):
+        trace = synthesize(app, nranks, dict(overrides))
+        streams: dict[tuple, list[tuple[int, float]]] = {}
+        for r in trace.records:
+            if r.count > 0:
+                streams.setdefault((r.rank, r.peer, r.call), []).append(
+                    (r.size, r.total_time / r.count)
+                )
+        for key, pairs in streams.items():
+            pairs.sort()
+            means = [m for _, m in pairs]
+            assert means == sorted(means), (
+                f"time not monotone in size for {app} p{nranks} stream {key}"
+            )
+
+
+@pytest.mark.parametrize("app", ["cactus", "gtc", "lbmhd", "paratec"])
+def test_backend_timing_identity(app):
+    """Scalar and vector backends synthesize bit-identical timing columns."""
+    for nranks, overrides in sample_cases(app, n_cases=4):
+        vec = synthesize(app, nranks, dict(overrides), backend="vector").ensure_batch()
+        sca = synthesize(app, nranks, dict(overrides), backend="scalar").ensure_batch()
+        assert np.array_equal(vec.total_time, sca.total_time)
+        assert np.array_equal(vec.min_time, sca.min_time)
+        assert np.array_equal(vec.max_time, sca.max_time)
 
 
 def test_sampling_is_deterministic():

@@ -42,6 +42,23 @@ FIXTURE_EVENTS = [
             "fully_provisionable": True,
             "speedup": 10.0,
         },
+        "interconnect_temporal": {
+            "timesteps": 4,
+            "reconfig_cost": 0.001,
+            "coverage": 1.0,
+            "static_coverage": 1.0,
+            "n_reconfigs": 15,
+            "speedup": 9.5,
+        },
+        "timing": {
+            "seed": 0,
+            "model": "loggp",
+            "comm_time_s": 0.148,
+            "compute_time_s": 0.96,
+            "wall_time_s": 0.9785,
+            "pct_comm": 1.891,
+            "latency_buckets": {"64": 288, "128": 8},
+        },
     },
     {"event": "span", "name": "pipeline", "span_id": 1, "parent_id": None, "depth": 0,
      "wall_s": 1.0, "peak_rss_kb": 2500, "attrs": {}},
@@ -89,6 +106,10 @@ def test_markdown_rendering():
     assert "## Stage profile" in md
     assert "matrix_reduce" in md
     assert "fully" in md and "10.0x vs packet-only" in md
+    assert "temporal assignment (4 steps)" in md
+    assert "15 reconfigs" in md
+    assert "1.9% communication" in md
+    assert "| <= 64 µs | 288 |" in md
 
 
 def test_write_report_outputs(tmp_path):
@@ -108,6 +129,9 @@ def test_write_report_outputs(tmp_path):
             "max_degree": 3,
             "coverage": 1.0,
             "speedup": 10.0,
+            "pct_comm": 1.891,
+            "temporal_coverage": 1.0,
+            "temporal_speedup": 9.5,
         }
     ]
 

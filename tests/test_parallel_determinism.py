@@ -141,3 +141,47 @@ def test_second_run_hits_cache_and_matches(tmp_path):
     assert warm["manifest"]["cache"]["hits"] == 8
     assert warm["manifest"]["cache"]["stores"] == 0
     assert cold["results"] == warm["results"]
+
+
+def test_timing_identical_across_workers_and_shards(tmp_path):
+    """Synthesized times are a pure function of (app, nranks, seed).
+
+    Worker count and sharding must not perturb a single timing number:
+    the per-cell timing summaries (float comm times included) and the
+    latency-histogram buckets must match exactly. Histogram float sums
+    are compared per-bucket-count, not by the merged running sum, since
+    merge order legitimately differs.
+    """
+    serial = run_matrix(tmp_path / "w1", workers=1)
+    parallel = run_matrix(tmp_path / "w4", workers=4)
+    shard0 = run_matrix(tmp_path / "s", workers=2, shard=(0, 2))
+    shard1 = run_matrix(tmp_path / "s", workers=2, shard=(1, 2))
+
+    t_serial = [r["timing"] for r in serial["results"]]
+    t_parallel = [r["timing"] for r in parallel["results"]]
+    assert t_serial == t_parallel
+    t_sharded = [r["timing"] for r in shard0["results"] + shard1["results"]]
+    assert sorted(map(str, t_sharded)) == sorted(map(str, t_serial))
+    for t in t_serial:
+        assert t["comm_time_s"] > 0.0
+        assert 0.0 < t["pct_comm"] < 100.0
+        assert t["latency_buckets"]
+
+    tm_serial = [r["interconnect_temporal"] for r in serial["results"]]
+    tm_parallel = [r["interconnect_temporal"] for r in parallel["results"]]
+    assert tm_serial == tm_parallel
+
+
+def test_latency_histograms_merge_exactly_across_workers(tmp_path):
+    obs1, obs4 = Observability(enabled=True), Observability(enabled=True)
+    run_pipeline(apps=APPS, scales=SCALES, cache_dir=str(tmp_path / "h1"),
+                 obs=obs1, argv=["test"], workers=1)
+    run_pipeline(apps=APPS, scales=SCALES, cache_dir=str(tmp_path / "h4"),
+                 obs=obs4, argv=["test"], workers=4)
+    m1, m4 = obs1.metrics.to_dict(), obs4.metrics.to_dict()
+    names = ["call_latency_usec"] + [f"call_latency_usec.{a}" for a in APPS]
+    for name in names:
+        h1, h4 = m1[name], m4[name]
+        assert h1["buckets"] == h4["buckets"], name
+        assert h1["count"] == h4["count"] and h1["count"] > 0, name
+        assert h1["min"] == h4["min"] and h1["max"] == h4["max"], name

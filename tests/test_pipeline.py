@@ -69,9 +69,10 @@ def test_run_pipeline_synthesizes_and_stores_on_miss(tmp_path):
     assert out["manifest"]["cache"]["stores"] == 1
     stored = list(tmp_path.glob("gtc_p4_*.json"))
     assert len(stored) == 1
-    # stored file is a valid format-2 document
+    # stored file is a valid format-3 document with a timing descriptor
     doc = json.loads(stored[0].read_text())
-    assert doc["format"] == 2
+    assert doc["format"] == 3
+    assert doc["metadata"]["timing"]["model"] == "loggp"
     # second run hits the cache
     obs2 = Observability(enabled=True)
     out2 = run_pipeline(

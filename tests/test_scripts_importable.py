@@ -1,0 +1,30 @@
+"""Every file under scripts/ must import without side effects.
+
+The fixture generator and the perf comparer are imported by tests and
+tooling; an import must never write files, parse argv, or exit.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS_DIR = Path(__file__).parent.parent / "scripts"
+SCRIPTS = sorted(p for p in SCRIPTS_DIR.glob("*.py"))
+
+
+def test_scripts_exist():
+    names = {p.name for p in SCRIPTS}
+    assert {"gen_golden.py", "bench_compare.py"} <= names
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_import_has_no_side_effects(script, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # any stray writes would land here
+    monkeypatch.setattr(sys, "argv", [script.name])
+    spec = importlib.util.spec_from_file_location(f"script_{script.stem}", script)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), f"{script.name} must expose main()"
+    assert list(tmp_path.iterdir()) == [], f"{script.name} wrote files on import"
