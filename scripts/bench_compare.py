@@ -10,8 +10,11 @@ With two explicit paths, BASELINE is the reference run and CANDIDATE the
 run under test. With no paths, the two newest ``BENCH_*.json`` under
 ``--dir`` (by embedded manifest timestamp, falling back to file mtime)
 are compared — oldest of the pair as baseline. Fewer than two snapshots
-is not an error: the guard prints a note and passes, so the first run of
-a fresh checkout doesn't fail CI.
+is not an error: the guard prints a "no baseline" note and passes, so
+the first run of a fresh checkout doesn't fail CI. That applies to the
+explicit form too — empty-string path arguments (what an empty ``$(ls
+...)`` substitution produces) are dropped, and a single surviving path
+is treated as a candidate with no baseline yet.
 
 A stage regresses when its wall time grows by more than ``--max-regress``
 percent over baseline. Stages whose baseline wall time is below
@@ -93,7 +96,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="diff two BENCH_*.json snapshots, fail on stage regression"
     )
-    parser.add_argument("paths", nargs="*", type=Path,
+    parser.add_argument("paths", nargs="*",
                         help="explicit BASELINE CANDIDATE pair (else scan --dir)")
     parser.add_argument("--dir", type=Path, default=Path("."),
                         help="directory scanned for BENCH_*.json when no paths given")
@@ -103,10 +106,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="baseline seconds below which a stage cannot fail")
     args = parser.parse_args(argv)
 
-    if args.paths and len(args.paths) != 2:
+    # CI invokes this as `bench_compare.py "$(ls -t ...)" "$(ls -t ...)"`;
+    # on a fresh checkout a substitution expands to the empty string, so
+    # drop blank arguments before deciding which mode we are in. Paths
+    # stay strings up to here because Path("") normalizes to ".".
+    paths = [Path(p) for p in args.paths if p.strip()]
+    if len(paths) > 2:
         parser.error("expected exactly two paths (BASELINE CANDIDATE) or none")
-    if args.paths:
-        base_path, cand_path = args.paths
+    if len(paths) == 1:
+        print(
+            f"bench_compare: no baseline to compare {paths[0]} against; "
+            "first run — nothing to guard"
+        )
+        return 0
+    if paths:
+        base_path, cand_path = paths
     else:
         pair = pick_newest_two(args.dir)
         if pair is None:

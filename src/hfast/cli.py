@@ -19,6 +19,15 @@ output is deterministic and byte-identical to a serial run. ``--shard
 i/m`` selects every m-th cell starting at i, for splitting a sweep across
 hosts. A failing cell is reported and skipped; the exit code is nonzero
 only when every cell failed, or when any cell failed under ``--strict``.
+
+``--scheduler stealing`` swaps the static partition for the
+fault-tolerant work-stealing scheduler: cost-ordered shared queue,
+``--max-retries`` per-cell retries with backoff, hung/crashed-worker
+re-dispatch (``--heartbeat-timeout``), and a run journal. ``--resume
+RUN_ID`` (implies the stealing backend) replays a prior run's completed
+cells from the journal and executes only what is left. A cell that
+succeeds on retry is not a failure: ``--strict`` only trips on cells
+that exhausted their retries.
 """
 
 from __future__ import annotations
@@ -33,7 +42,8 @@ from hfast.interconnect import InterconnectConfig
 from hfast.obs.profile import Observability, configure
 from hfast.obs.report import build_report, write_report
 from hfast.obs.trace import JsonlSink, read_events
-from hfast.pipeline import discover_scales, run_pipeline
+from hfast.pipeline import SCHEDULERS, discover_scales, run_pipeline
+from hfast.sched.journal import JournalError
 from hfast.timing import DEFAULT_TIMING_SEED
 
 DEFAULT_REPORT_DIR = "reports"
@@ -105,6 +115,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero if any cell fails (default: only if all fail)",
     )
     p_an.add_argument(
+        "--scheduler", choices=SCHEDULERS, default="static",
+        help="cell scheduler: fixed partition (static) or fault-tolerant work stealing",
+    )
+    p_an.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="resume a prior stealing run from its journal (implies --scheduler stealing)",
+    )
+    p_an.add_argument(
+        "--max-retries", type=int, default=2,
+        help="stealing scheduler: retries per cell after the first attempt",
+    )
+    p_an.add_argument(
+        "--heartbeat-timeout", type=float, default=30.0,
+        help="stealing scheduler: seconds of worker silence before re-dispatching its cell",
+    )
+    p_an.add_argument(
+        "--journal-dir", default=None,
+        help="stealing scheduler: run-journal directory (default: <cache-dir>/.sched_journal)",
+    )
+    p_an.add_argument(
         "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
         help="trace-synthesis backend (vector is the fast default)",
     )
@@ -149,6 +179,7 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
         timesteps=args.timesteps,
         reconfig_cost=args.reconfig_cost,
     )
+    scheduler = "stealing" if args.resume else args.scheduler
     try:
         out = run_pipeline(
             apps=apps,
@@ -162,9 +193,17 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
             shard=args.shard,
             backend=args.backend,
             timing_seed=args.timing_seed,
+            scheduler=scheduler,
+            max_retries=args.max_retries,
+            heartbeat_timeout=args.heartbeat_timeout,
+            journal_dir=args.journal_dir,
+            resume=args.resume,
         )
     except CacheValidationError as exc:
         print(f"error: cache validation failed: {exc}", file=sys.stderr)
+        return 1
+    except JournalError as exc:
+        print(f"error: cannot resume: {exc}", file=sys.stderr)
         return 1
 
     for res in out["results"]:
@@ -179,6 +218,17 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
             f"tcov={tmp['coverage']:.3f} reconf={tmp['n_reconfigs']:>3d} "
             f"comm={tim['pct_comm']:.1f}%"
         )
+
+    sched = out["manifest"].get("scheduler") or {}
+    if sched.get("backend") == "stealing":
+        print(
+            f"scheduler: stealing run {sched.get('run_id', '?')} "
+            f"(steals={sched.get('steals', 0)} retries={sched.get('retries', 0)} "
+            f"redispatches={sched.get('redispatches', 0)} "
+            f"replayed={sched.get('cells_from_journal', 0)})"
+        )
+        if sched.get("journal"):
+            print(f"journal: {sched['journal']} (resume with --resume {sched.get('run_id')})")
 
     if profiling:
         if args.metrics_out:
@@ -195,6 +245,15 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
 
     cells = out["manifest"].get("cells") or []
     failed = [c for c in cells if not c["ok"]]
+    # A retry that succeeded is informational, never an error: the cell's
+    # result is in the output and --strict must not trip on it.
+    for c in cells:
+        if c["ok"] and c.get("attempts", 1) > 1:
+            print(
+                f"note: cell {c['app']}_p{c['nranks']} succeeded after "
+                f"{c['attempts']} attempts",
+                file=sys.stderr,
+            )
     for c in failed:
         print(f"error: cell {c['app']}_p{c['nranks']} failed: {c['error']}", file=sys.stderr)
     if failed and (args.strict or len(failed) == len(cells)):

@@ -68,9 +68,18 @@ def reduce_matrix(records: Iterable[CommRecord] | RecordBatch, nranks: int) -> C
     """Build the communication matrix from point-to-point records.
 
     Accepts either an iterable of :class:`CommRecord` or a columnar
-    :class:`RecordBatch`; the batch path is fully vectorized and is how
-    1K+-rank all-to-all traces stay fast.
+    :class:`RecordBatch`. Record lists are columnarized up front so both
+    representations run the same vectorized reduction (and produce the
+    same float64 sums); only a multi-region record list — which
+    :meth:`RecordBatch.from_records` cannot represent — falls back to the
+    per-record loop.
     """
+    if not isinstance(records, RecordBatch):
+        recs = records if isinstance(records, list) else list(records)
+        try:
+            records = RecordBatch.from_records(recs)
+        except ValueError:
+            records = recs
     send_bytes = np.zeros((nranks, nranks), dtype=np.int64)
     send_msgs = np.zeros((nranks, nranks), dtype=np.int64)
     send_time = np.zeros((nranks, nranks), dtype=np.float64)

@@ -38,6 +38,7 @@ def build_manifest(
     cwd: str | None = None,
     workers: int = 1,
     shard: tuple[int, int] | None = None,
+    scheduler: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     return {
         "git_sha": git_sha(cwd),
@@ -49,6 +50,9 @@ def build_manifest(
         "scales": {app: list(ns) for app, ns in scales.items()},
         "workers": workers,
         "shard": {"index": shard[0], "count": shard[1]} if shard else None,
+        # Scheduler section: backend (+ run id) up front; the work-stealing
+        # backend folds its steal/retry/re-dispatch counters in at the end.
+        "scheduler": dict(scheduler) if scheduler else {"backend": "static"},
         # Filled in when the run completes:
         "cache": None,
         "cells": None,

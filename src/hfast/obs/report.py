@@ -96,6 +96,9 @@ def render_markdown(report: dict[str, Any]) -> str:
         failed = man.get("failed_cells") or []
         if failed:
             lines.append(f"- **failed cells:** {', '.join(failed)}")
+        sched = man.get("scheduler") or {}
+        if sched.get("backend") and sched["backend"] != "static":
+            lines.append(f"- **scheduler:** {sched['backend']} (run `{sched.get('run_id', '?')}`)")
         lines.append("")
 
     for run in report.get("runs", []):
@@ -199,11 +202,34 @@ def render_markdown(report: dict[str, Any]) -> str:
     if cells:
         lines.append("## Cell timings")
         lines.append("")
-        lines.append("| cell | status | wall (s) |")
-        lines.append("|---|---|---:|")
+        lines.append("| cell | status | attempts | wall (s) |")
+        lines.append("|---|---|---:|---:|")
         for c in cells:
             status = "ok" if c.get("ok") else f"FAILED: {c.get('error', '?')}"
-            lines.append(f"| {c['app']}_p{c['nranks']} | {status} | {c.get('wall_s', 0):.4f} |")
+            lines.append(
+                f"| {c['app']}_p{c['nranks']} | {status} | {c.get('attempts', 1)} "
+                f"| {c.get('wall_s', 0):.4f} |"
+            )
+        lines.append("")
+
+    sched = (report.get("manifest") or {}).get("scheduler") or {}
+    if sched.get("backend") == "stealing":
+        lines.append("## Scheduler")
+        lines.append("")
+        lines += [
+            f"- **backend:** work-stealing, run `{sched.get('run_id', '?')}`"
+            + (" (resumed)" if sched.get("resumed") else ""),
+            f"- **workers:** {sched.get('workers', '?')} requested, "
+            f"{sched.get('workers_spawned', '?')} spawned, "
+            f"{sched.get('workers_lost', 0)} lost",
+            f"- **queue:** {sched.get('tasks_dispatched', 0)} dispatches, "
+            f"{sched.get('steals', 0)} steals, max depth {sched.get('max_queue_depth', 0)}",
+            f"- **recovery:** {sched.get('retries', 0)} retries, "
+            f"{sched.get('redispatches', 0)} re-dispatches, "
+            f"{sched.get('cells_from_journal', 0)} cells replayed from journal",
+        ]
+        if sched.get("journal"):
+            lines.append(f"- **journal:** `{sched['journal']}`")
         lines.append("")
     return "\n".join(lines)
 

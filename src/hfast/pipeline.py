@@ -1,16 +1,28 @@
 """Pipeline orchestration: trace -> matrix -> topology -> interconnect.
 
 The (app, nranks) analysis matrix is partitioned into *cells*. Cells run
-either serially (the default) or on a ``ProcessPoolExecutor`` backend
-(``workers > 1``); either way the merged output is deterministic — cell
-results, trace events, metrics, and cache statistics are stitched back
-together in cell-definition order, never completion order, so a
-``--workers 4`` run is byte-identical to a serial one (modulo wall-clock
-timing fields). ``--shard i/m`` selects a deterministic subset of cells so
-independent hosts can split a sweep and later union their caches.
+under one of two scheduler backends:
+
+- ``static`` (the default) — serial execution, or a
+  ``ProcessPoolExecutor`` fan-out with a fixed cell partition when
+  ``workers > 1``.
+- ``stealing`` — the fault-tolerant work-stealing scheduler
+  (:mod:`hfast.sched`): a cost-ordered shared queue, per-cell retries
+  with backoff, heartbeat-based detection of crashed/hung workers with
+  re-dispatch, and a run journal enabling ``resume=<run-id>``.
+
+Either way the merged output is deterministic — cell results, trace
+events, metrics, and cache statistics are stitched back together in
+cell-definition order, never completion order, so a ``--workers 4`` run
+is byte-identical to a serial one (modulo wall-clock timing fields and
+scheduler bookkeeping). ``--shard i/m`` selects a deterministic subset of
+cells so independent hosts can split a sweep and later union their
+caches.
 
 A failing cell does not abort the sweep: its error is recorded in the run
-manifest (``cells`` / ``failed_cells``) and the remaining cells still run.
+manifest (``cells`` / ``failed_cells``) and the remaining cells still
+run. Under the stealing backend a cell that succeeds on a retry is *not*
+a failure — the manifest records its ``attempts`` count instead.
 
 Every stage runs under an observability span; per-record message sizes
 feed the IPM-style log2 histograms; each cell emits one ``app_summary``
@@ -37,10 +49,14 @@ from hfast.obs.manifest import build_manifest
 from hfast.obs.metrics import log2_bucket
 from hfast.obs.profile import Observability, get_obs, using
 from hfast.records import SEND_CALLS, Trace
+from hfast.sched.cost import CostModel
+from hfast.sched.journal import RunJournal, build_fingerprint, journal_dir_for, new_run_id
+from hfast.sched.scheduler import SchedulerConfig, run_stealing
 from hfast.timing import DEFAULT_TIMING_SEED, TimingModel
 from hfast.topology import analyze_topology
 
 DEFAULT_SCALES = (16, 64)
+SCHEDULERS = ("static", "stealing")
 
 
 @dataclass(frozen=True)
@@ -343,6 +359,13 @@ def run_pipeline(
     shard: tuple[int, int] | None = None,
     backend: str = DEFAULT_BACKEND,
     timing_seed: int = DEFAULT_TIMING_SEED,
+    scheduler: str = "static",
+    max_retries: int = 2,
+    heartbeat_timeout: float = 30.0,
+    retry_backoff: float = 0.05,
+    journal_dir: str | None = None,
+    resume: str | None = None,
+    bench_dir: str | None = ".",
 ) -> dict[str, Any]:
     """Run the analysis matrix; returns {manifest, results}.
 
@@ -350,7 +373,20 @@ def run_pipeline(
     restricts the run to every m-th cell starting at i. Failed cells are
     recorded in ``manifest["cells"]`` / ``manifest["failed_cells"]`` and
     excluded from ``results``.
+
+    ``scheduler="stealing"`` switches to the fault-tolerant work-stealing
+    backend: cells are pulled largest-estimated-cost-first, transient
+    failures retry up to ``max_retries`` times with exponential backoff,
+    crashed or hung workers (``heartbeat_timeout``) have their cells
+    re-dispatched, and progress is journaled so ``resume=<run-id>``
+    replays completed cells instead of re-running them. Scheduler
+    bookkeeping lands in ``manifest["scheduler"]``; per-cell ``attempts``
+    in ``manifest["cells"]``.
     """
+    if scheduler not in SCHEDULERS:
+        raise ValueError(f"unknown scheduler '{scheduler}' (expected one of {SCHEDULERS})")
+    if resume is not None and scheduler != "stealing":
+        raise ValueError("resume requires scheduler='stealing'")
     obs = obs if obs is not None else get_obs()
     cache = ReproCache(cache_dir, readonly=not store)
     apps = list(apps) if apps else available_apps()
@@ -360,13 +396,88 @@ def run_pipeline(
     if shard is not None:
         cells = shard_cells(cells, shard[0], shard[1])
 
-    manifest = build_manifest(apps, scales, argv=argv, workers=workers, shard=shard)
+    sched_info: dict[str, Any] = {"backend": scheduler}
+    journal: RunJournal | None = None
+    if scheduler == "stealing":
+        fingerprint = build_fingerprint(
+            apps, scales, cache_dir, backend, timing_seed, store,
+            config.to_dict() if config is not None else None, shard,
+        )
+        jdir = journal_dir_for(cache_dir, journal_dir)
+        if resume is not None:
+            journal = RunJournal.load(jdir, resume)
+            journal.check_fingerprint(fingerprint)
+            run_id = resume
+        else:
+            run_id = new_run_id()
+            journal = RunJournal.create(jdir, run_id, fingerprint)
+        sched_info["run_id"] = run_id
+        sched_info["resumed"] = resume is not None
+
+    manifest = build_manifest(
+        apps, scales, argv=argv, workers=workers, shard=shard, scheduler=sched_info
+    )
     obs.tracer.emit_event("manifest", manifest)
+
+    def payload_for(cell: Cell) -> dict[str, Any]:
+        return {
+            "app": cell.app,
+            "nranks": cell.nranks,
+            "index": cell.index,
+            "cache_dir": cache_dir,
+            "config": config,
+            "store": store,
+            "backend": backend,
+            "timing_seed": timing_seed,
+            "profiled": obs.enabled,
+        }
+
+    def report_for(res: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "app": res["app"],
+            "nranks": res["nranks"],
+            "ok": res["ok"],
+            "wall_s": round(res["wall_s"], 6),
+            "error": res["error"],
+            "attempts": res.get("attempts", 1),
+        }
+
+    def merge_raw(raw: list[dict[str, Any]]) -> None:
+        # Completion order is nondeterministic; merge in cell order.
+        raw.sort(key=lambda r: r["index"])
+        for res in raw:
+            _merge_cell_events(obs, res["events"])
+            if obs.enabled:
+                obs.metrics.merge_snapshot(res["metrics"])
+            _merge_cache_stats(cache.stats, res["cache"])
+            cell_reports.append(report_for(res))
+            if res["summary"] is not None:
+                results.append(res["summary"])
 
     cell_reports: list[dict[str, Any]] = []
     results: list[dict[str, Any]] = []
     with obs.tracer.span("pipeline", napps=len(apps), ncells=len(cells), workers=workers):
-        if workers <= 1 or len(cells) <= 1:
+        if scheduler == "stealing":
+            sched_cfg = SchedulerConfig(
+                workers=max(1, workers),
+                max_retries=max_retries,
+                heartbeat_timeout=heartbeat_timeout,
+                retry_backoff=retry_backoff,
+            )
+            raw, stats = run_stealing(
+                cells,
+                lambda cell, attempt: payload_for(cell),
+                _execute_cell,
+                sched_cfg,
+                cost_model=CostModel.from_bench_dir(bench_dir),
+                obs=obs,
+                journal=journal,
+            )
+            merge_raw(list(raw))
+            sched_info.update(stats)
+            sched_info["backend"] = "stealing"
+            sched_info["journal"] = str(journal.path) if journal is not None else None
+        elif workers <= 1 or len(cells) <= 1:
             for cell in cells:
                 t0 = time.perf_counter()
                 ok, summary, error = True, None, None
@@ -385,50 +496,22 @@ def run_pipeline(
                         "ok": ok,
                         "wall_s": round(time.perf_counter() - t0, 6),
                         "error": error,
+                        "attempts": 1,
                     }
                 )
                 if summary is not None:
                     results.append(summary)
         else:
-            payloads = [
-                {
-                    "app": cell.app,
-                    "nranks": cell.nranks,
-                    "index": cell.index,
-                    "cache_dir": cache_dir,
-                    "config": config,
-                    "store": store,
-                    "backend": backend,
-                    "timing_seed": timing_seed,
-                    "profiled": obs.enabled,
-                }
-                for cell in cells
-            ]
+            payloads = [payload_for(cell) for cell in cells]
             with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
                 raw = list(pool.map(_execute_cell, payloads))
-            # Completion order is nondeterministic; merge in cell order.
-            raw.sort(key=lambda r: r["index"])
-            for res in raw:
-                _merge_cell_events(obs, res["events"])
-                if obs.enabled:
-                    obs.metrics.merge_snapshot(res["metrics"])
-                _merge_cache_stats(cache.stats, res["cache"])
-                cell_reports.append(
-                    {
-                        "app": res["app"],
-                        "nranks": res["nranks"],
-                        "ok": res["ok"],
-                        "wall_s": round(res["wall_s"], 6),
-                        "error": res["error"],
-                    }
-                )
-                if res["summary"] is not None:
-                    results.append(res["summary"])
+            merge_raw(raw)
 
     manifest["cells"] = cell_reports
     manifest["failed_cells"] = [
         f"{c['app']}_p{c['nranks']}" for c in cell_reports if not c["ok"]
     ]
     manifest["cache"] = cache.stats.to_dict()
+    manifest["scheduler"] = sched_info
     obs.tracer.emit_event("manifest", manifest)
     return {"manifest": manifest, "results": results}

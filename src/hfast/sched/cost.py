@@ -1,0 +1,125 @@
+"""Per-cell cost model for scheduling.
+
+A cell's cost is dominated by how many aggregated records its app
+synthesizes plus the dense nranks x nranks reductions downstream, so the
+analytic estimate mirrors the generator formulas in :mod:`hfast.apps`
+(paratec's all-to-all is O(nranks^2); the stencil codes are O(nranks)).
+
+When prior runs left ``BENCH_*.json`` snapshots around, their per-cell
+wall times calibrate the estimate: a measured cell costs exactly what it
+measured, and unmeasured cells are scaled by the median measured-to-
+analytic ratio so the two populations stay comparable. The model only
+orders the work queue — a wrong estimate costs balance, never
+correctness — so calibration is strictly best-effort and never raises.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+
+def estimate_cell_records(app: str, nranks: int) -> float:
+    """Analytic record-count estimate mirroring the apps.py generators."""
+    n = max(1, nranks)
+    if app == "paratec":
+        # Dense personalized all-to-all: isend+irecv per ordered pair.
+        return 2.0 * n * (n - 1) + 2.0 * n
+    if app == "cactus":
+        # Up to 6 grid neighbours, three records per pair, two per rank.
+        return 6.0 * 3.0 * n + 2.0 * n
+    if app == "lbmhd":
+        # 8-offset skewed stencil, send+recv per surviving pair.
+        return 8.0 * 2.0 * n + 2.0 * n
+    if app == "gtc":
+        # 1D shift: three records per rank plus the field allreduce.
+        return 4.0 * n
+    # Unknown app: assume a neighbour exchange so it still sorts sanely.
+    return 8.0 * n
+
+
+def estimate_cell_cost(app: str, nranks: int) -> float:
+    """Analytic cost estimate in arbitrary units.
+
+    Record synthesis/aggregation is linear in the record count; the
+    matrix reduction, topology pass, and circuit matching touch dense
+    nranks^2 planes; the matching loop adds an n^2 log n-ish term that
+    matters at large scale. Constants are unitless — only the ordering
+    across cells matters.
+    """
+    n = max(1, nranks)
+    records = estimate_cell_records(app, nranks)
+    dense = float(n) * n
+    return records + 0.5 * dense * (1.0 + 0.1 * math.log2(n + 1))
+
+
+def _bench_sort_key(path: Path) -> tuple:
+    try:
+        stamp = json.loads(path.read_text(encoding="utf-8")).get("timestamp")
+    except (OSError, ValueError):
+        stamp = None
+    return (stamp is not None, stamp or "", path.stat().st_mtime)
+
+
+class CostModel:
+    """Cost estimates for (app, nranks) cells, optionally BENCH-calibrated."""
+
+    def __init__(self, measured: dict[tuple[str, int], float] | None = None):
+        self.measured = dict(measured or {})
+        self._scale = self._fit_scale()
+
+    def _fit_scale(self) -> float:
+        """Median measured/analytic ratio over calibrated cells (else 1)."""
+        ratios = []
+        for (app, nranks), wall in self.measured.items():
+            est = estimate_cell_cost(app, nranks)
+            if wall > 0 and est > 0:
+                ratios.append(wall / est)
+        if not ratios:
+            return 1.0
+        ratios.sort()
+        return ratios[len(ratios) // 2]
+
+    def estimate(self, app: str, nranks: int) -> float:
+        wall = self.measured.get((app, nranks))
+        if wall is not None and wall > 0:
+            return wall
+        return estimate_cell_cost(app, nranks) * self._scale
+
+    @classmethod
+    def from_bench_dir(cls, bench_dir: str | Path | None) -> "CostModel":
+        """Calibrate from the newest ``BENCH_*.json`` under ``bench_dir``.
+
+        Any read/parse problem degrades to the uncalibrated analytic
+        model — prior-run telemetry must never block a new run.
+        """
+        if bench_dir is None:
+            return cls()
+        try:
+            found = sorted(Path(bench_dir).glob("BENCH_*.json"), key=_bench_sort_key)
+        except OSError:
+            return cls()
+        if not found:
+            return cls()
+        try:
+            doc = json.loads(found[-1].read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cls()
+        return cls(measured=cells_from_bench(doc))
+
+
+def cells_from_bench(doc: Any) -> dict[tuple[str, int], float]:
+    """Extract {(app, nranks): wall_s} from a BENCH document's cell table."""
+    measured: dict[tuple[str, int], float] = {}
+    if not isinstance(doc, dict):
+        return measured
+    cells = (doc.get("profile") or {}).get("cells") or []
+    for cell in cells:
+        try:
+            if cell.get("ok") and float(cell.get("wall_s", 0.0)) > 0:
+                measured[(str(cell["app"]), int(cell["nranks"]))] = float(cell["wall_s"])
+        except (KeyError, TypeError, ValueError):
+            continue
+    return measured

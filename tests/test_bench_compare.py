@@ -74,6 +74,26 @@ def test_dir_mode_with_single_snapshot_passes(tmp_path, capsys):
     assert "fewer than two" in capsys.readouterr().out
 
 
+def test_empty_string_paths_fall_back_to_dir_scan(tmp_path, capsys):
+    """CI's $(ls ...) substitutions expand to "" on a fresh checkout."""
+    assert bench_compare.main(["", "", "--dir", str(tmp_path)]) == 0
+    assert "fewer than two" in capsys.readouterr().out
+
+
+def test_single_path_is_no_baseline_not_an_error(tmp_path, capsys):
+    cand = write_bench(tmp_path / "BENCH_a.json", {"pipeline": 1.0})
+    assert bench_compare.main([str(cand), ""]) == 0
+    assert "no baseline" in capsys.readouterr().out
+
+
+def test_three_paths_still_error(tmp_path):
+    import pytest
+
+    p = str(write_bench(tmp_path / "BENCH_a.json", {"pipeline": 1.0}))
+    with pytest.raises(SystemExit):
+        bench_compare.main([p, p, p])
+
+
 def test_differing_worker_counts_skip_comparison(tmp_path, capsys):
     """Parallel stage walls are per-process sums; never diff across counts."""
     base = write_bench(tmp_path / "BENCH_a.json", {"pipeline": 1.0}, workers=1)

@@ -90,6 +90,39 @@ def test_symmetric_apps_yield_symmetric_matrices(app):
 
 
 @pytest.mark.parametrize("app", ["cactus", "gtc", "lbmhd", "paratec"])
+def test_record_list_and_batch_reduce_to_equal_planes(app):
+    """reduce_matrix yields identical planes for both representations.
+
+    A cached trace loads back as a record list while a fresh synthesis
+    carries a columnar batch; both must hit the same vectorized
+    reduction and produce bit-equal bytes/msg/time planes.
+    """
+    for nranks, overrides in sample_cases(app, n_cases=4):
+        trace = synthesize(app, nranks, dict(overrides))
+        from_batch = reduce_matrix(trace.batch, nranks)
+        from_list = reduce_matrix(list(trace.records), nranks)
+        assert np.array_equal(from_batch.bytes_matrix, from_list.bytes_matrix), (
+            f"bytes plane diverges for {app} p{nranks} {overrides}"
+        )
+        assert np.array_equal(from_batch.msg_matrix, from_list.msg_matrix)
+        assert np.array_equal(from_batch.time_matrix, from_list.time_matrix)
+
+
+def test_multi_region_record_list_falls_back_to_scalar_reduce():
+    """Mixed-region lists can't columnarize but must still reduce correctly."""
+    from hfast.records import CommRecord
+
+    records = [
+        CommRecord(rank=0, call="MPI_Isend", size=100, peer=1, region="init", count=2),
+        CommRecord(rank=1, call="MPI_Irecv", size=100, peer=0, region="steady", count=2),
+    ]
+    cm = reduce_matrix(records, 2)
+    assert cm.bytes_matrix[0, 1] == 200
+    assert cm.msg_matrix[0, 1] == 2
+    assert cm.total_bytes == 200
+
+
+@pytest.mark.parametrize("app", ["cactus", "gtc", "lbmhd", "paratec"])
 def test_topology_degree_bounded(app):
     for nranks, overrides in sample_cases(app):
         trace = synthesize(app, nranks, dict(overrides))
