@@ -28,6 +28,15 @@ RUN_ID`` (implies the stealing backend) replays a prior run's completed
 cells from the journal and executes only what is left. A cell that
 succeeds on retry is not a failure: ``--strict`` only trips on cells
 that exhausted their retries.
+
+``--live`` streams telemetry while the run executes: a repainting TTY
+status view (per-cell state, steal/retry counters, cost-model ETA,
+flagged stragglers) that degrades to periodic log lines when stderr is
+not a TTY. ``--metrics-port N`` serves Prometheus text exposition on
+``http://127.0.0.1:N/metrics`` for the duration of the run (0 picks a
+free port). Both imply ``--profile`` and are strict side-channels: the
+merged trace/metrics/report artifacts are byte-identical with or
+without them.
 """
 
 from __future__ import annotations
@@ -39,8 +48,12 @@ import sys
 from hfast.apps import APPS, BACKENDS, DEFAULT_BACKEND, available_apps
 from hfast.cache import DEFAULT_CACHE_DIR, CacheValidationError, ReproCache
 from hfast.interconnect import InterconnectConfig
+from hfast.obs.anomaly import AnomalyDetector
+from hfast.obs.live import LiveView
 from hfast.obs.profile import Observability, configure
+from hfast.obs.prom import MetricsServer, render_registry
 from hfast.obs.report import build_report, write_report
+from hfast.obs.stream import EventBus
 from hfast.obs.trace import JsonlSink, read_events
 from hfast.pipeline import SCHEDULERS, discover_scales, run_pipeline
 from hfast.sched.journal import JournalError
@@ -143,6 +156,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--metrics-out", default=None, help="metrics JSON export path (implies --profile)")
     p_an.add_argument("--report-dir", default=None, help="write report.md + report.json here (implies --profile)")
     p_an.add_argument("--bench-dir", default=None, help="write BENCH_<sha>.json here (implies --profile)")
+    p_an.add_argument(
+        "--live", action="store_true",
+        help="stream live run status to stderr (TTY dashboard, or periodic "
+             "log lines when not a TTY; implies --profile)",
+    )
+    p_an.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus /metrics on 127.0.0.1:PORT during the run "
+             "(0 = pick a free port; implies --profile)",
+    )
+    p_an.add_argument(
+        "--anomaly-threshold", type=float, default=None,
+        help="flag a cell as a straggler when its wall time exceeds this "
+             "multiple of the cost-model expectation (default: 4.0)",
+    )
 
     p_rep = sub.add_parser("report", help="render a report from an existing JSONL trace")
     p_rep.add_argument("--trace", required=True, help="JSONL event trace to read")
@@ -156,7 +184,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
     profiling = bool(
-        args.profile or args.trace_out or args.metrics_out or args.report_dir or args.bench_dir
+        args.profile or args.trace_out or args.metrics_out or args.report_dir
+        or args.bench_dir or args.live or args.metrics_port is not None
     )
     if profiling:
         sink = JsonlSink(args.trace_out) if args.trace_out else None
@@ -180,6 +209,26 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
         reconfig_cost=args.reconfig_cost,
     )
     scheduler = "stealing" if args.resume else args.scheduler
+
+    # Live telemetry side-channels: an event bus feeding the status view,
+    # and/or a background /metrics endpoint scraping the live registry.
+    bus = live_view = metrics_server = detector = None
+    if args.live:
+        bus = EventBus()
+        kwargs = {"threshold": args.anomaly_threshold} if args.anomaly_threshold else {}
+        detector = AnomalyDetector.from_bench_dir(args.bench_dir or ".", **kwargs)
+        live_view = LiveView(detector=detector)
+        bus.subscribe(live_view.handle)
+        live_view.start()
+    if args.metrics_port is not None:
+        metrics_server = MetricsServer(
+            lambda: render_registry(obs.metrics), port=args.metrics_port
+        ).start()
+        print(
+            f"metrics endpoint: http://127.0.0.1:{metrics_server.port}/metrics",
+            file=sys.stderr,
+        )
+
     try:
         out = run_pipeline(
             apps=apps,
@@ -198,6 +247,9 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
             heartbeat_timeout=args.heartbeat_timeout,
             journal_dir=args.journal_dir,
             resume=args.resume,
+            bus=bus,
+            anomaly=detector,
+            anomaly_threshold=args.anomaly_threshold,
         )
     except CacheValidationError as exc:
         print(f"error: cache validation failed: {exc}", file=sys.stderr)
@@ -205,6 +257,11 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
     except JournalError as exc:
         print(f"error: cannot resume: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if live_view is not None:
+            live_view.stop()
+        if metrics_server is not None:
+            metrics_server.stop()
 
     for res in out["results"]:
         ic = res["interconnect"]
@@ -242,6 +299,13 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
         if args.trace_out:
             print(f"trace: {args.trace_out}")
     obs.close()
+
+    for a in out.get("anomalies") or []:
+        print(
+            f"anomaly: {a['cell']} {a['kind']}: {a['wall_s']:.3f}s vs "
+            f"expected {a['expected_s']:.3f}s ({a['ratio']}x)",
+            file=sys.stderr,
+        )
 
     cells = out["manifest"].get("cells") or []
     failed = [c for c in cells if not c["ok"]]

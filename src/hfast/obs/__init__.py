@@ -17,6 +17,8 @@ Everything is a no-op when the ambient instance is disabled (the default),
 so library code can instrument unconditionally.
 """
 
+from hfast.obs.anomaly import AnomalyDetector
+from hfast.obs.live import LiveView
 from hfast.obs.manifest import build_manifest, git_sha
 from hfast.obs.metrics import (
     Counter,
@@ -33,7 +35,15 @@ from hfast.obs.profile import (
     profiled,
     using,
 )
+from hfast.obs.prom import (
+    MetricsServer,
+    parse_prometheus,
+    prometheus_projection,
+    render_prometheus,
+    render_registry,
+)
 from hfast.obs.report import build_report, render_markdown, write_report
+from hfast.obs.stream import EventBus, QueueDrain, StreamForwardSink
 from hfast.obs.trace import (
     JsonlSink,
     ListSink,
@@ -45,15 +55,21 @@ from hfast.obs.trace import (
 )
 
 __all__ = [
+    "AnomalyDetector",
     "Counter",
+    "EventBus",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "ListSink",
+    "LiveView",
     "MetricsRegistry",
+    "MetricsServer",
     "NullSink",
     "Observability",
+    "QueueDrain",
     "SpanTracer",
+    "StreamForwardSink",
     "TeeSink",
     "build_manifest",
     "build_report",
@@ -62,10 +78,14 @@ __all__ = [
     "git_sha",
     "log2_bucket",
     "obs_span",
+    "parse_prometheus",
     "peak_rss_kb",
     "profiled",
+    "prometheus_projection",
     "read_events",
     "render_markdown",
+    "render_prometheus",
+    "render_registry",
     "using",
     "write_report",
 ]

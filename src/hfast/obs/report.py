@@ -23,16 +23,23 @@ def build_report(events: list[dict[str, Any]]) -> dict[str, Any]:
     """Aggregate a JSONL event stream into the run-report document."""
     manifest: dict[str, Any] | None = None
     runs: list[dict[str, Any]] = []
+    anomalies: list[dict[str, Any]] = []
     stage_wall: dict[str, float] = defaultdict(float)
     stage_calls: dict[str, int] = defaultdict(int)
     peak_rss = 0
 
+    # Trace-tree bookkeeping (span_id/parent_id/depth) rides along on
+    # merged non-span events; it identifies positions in one specific
+    # trace, not analysis content, so the report drops it.
+    structural = {"event", "span_id", "parent_id", "depth"}
     for ev in events:
         kind = ev.get("event")
         if kind == "manifest":
             manifest = {k: v for k, v in ev.items() if k != "event"}
         elif kind == "app_summary":
-            runs.append({k: v for k, v in ev.items() if k != "event"})
+            runs.append({k: v for k, v in ev.items() if k not in structural})
+        elif kind == "anomaly":
+            anomalies.append({k: v for k, v in ev.items() if k not in structural})
         elif kind == "span":
             stage_wall[ev["name"]] += ev.get("wall_s", 0.0)
             stage_calls[ev["name"]] += 1
@@ -55,6 +62,7 @@ def build_report(events: list[dict[str, Any]]) -> dict[str, Any]:
         "report_version": REPORT_VERSION,
         "manifest": manifest,
         "runs": runs,
+        "anomalies": anomalies,
         "profile": {
             "total_wall_s": round(total_wall, 6),
             "peak_rss_kb": peak_rss,
@@ -180,6 +188,20 @@ def render_markdown(report: dict[str, Any]) -> str:
                     f"| {entry['rank']} | {entry['peer']} | {_fmt_bytes(entry['bytes'])} |"
                 )
             lines.append("")
+
+    anomalies = report.get("anomalies") or []
+    if anomalies:
+        lines.append("## Anomalies")
+        lines.append("")
+        lines.append("| cell | kind | wall (s) | expected (s) | ratio | attempts |")
+        lines.append("|---|---|---:|---:|---:|---:|")
+        for a in anomalies:
+            lines.append(
+                f"| {a.get('cell', '?')} | {a.get('kind', '?')} "
+                f"| {a.get('wall_s', 0):.4f} | {a.get('expected_s', 0):.4f} "
+                f"| {a.get('ratio', 0):.2f}x | {a.get('attempts', 1)} |"
+            )
+        lines.append("")
 
     prof = report.get("profile", {})
     stages = prof.get("stages", [])

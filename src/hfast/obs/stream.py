@@ -1,0 +1,199 @@
+"""Live telemetry streaming: event bus + cross-process trace forwarding.
+
+The deterministic observability pipeline buffers every worker event and
+merges it in cell order *after* a cell completes — perfect for
+reproducible artifacts, useless for watching a 4K-rank cell grind or a
+worker hang. This module adds the missing live path as a strict
+side-channel:
+
+- :class:`EventBus` — parent-side fan-out of telemetry events to any
+  number of subscribers (the ``--live`` status view, tests, future
+  exporters). Subscriber exceptions are swallowed and counted; a broken
+  consumer can never perturb the run.
+- **Worker channels** — a process-local registration
+  (:func:`set_worker_channel`) that cell execution picks up to forward
+  events *as they happen*: over the scheduler's existing duplex pipe
+  (``("ev", event)`` messages), over a ``multiprocessing.Queue`` for the
+  process-pool backend (:func:`pool_worker_init` /
+  :class:`QueueDrain`), or synchronously for serial runs.
+- :class:`StreamForwardSink` — a trace sink that sends *annotated
+  copies* of each event down the channel, stamped with the propagated
+  trace context (``run_id``, ``cell``, ``worker``, ``attempt``). The
+  buffered originals are never touched, so the merged JSONL trace stays
+  byte-identical with and without live streaming.
+
+Nothing here is on the hot path when live mode is off: workers only
+forward when the cell payload carries ``live=True``, and the bus simply
+does not exist.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+import threading
+from typing import Any, Callable
+
+#: Keys a :class:`StreamForwardSink` stamps onto forwarded event copies.
+CONTEXT_KEYS = ("run_id", "cell", "worker", "attempt")
+
+
+class EventBus:
+    """Thread-safe publish/subscribe fan-out for live telemetry events.
+
+    Publishers may be the pipeline's main thread, the scheduler's event
+    loop, or a :class:`QueueDrain` thread; subscribers must therefore be
+    internally thread-safe. A subscriber that raises is skipped for that
+    event (``dropped`` counts the failures) — live consumers are
+    best-effort by contract.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[dict[str, Any]], None]] = []
+        self._lock = threading.Lock()
+        self.published = 0
+        self.dropped = 0
+
+    def subscribe(self, fn: Callable[[dict[str, Any]], None]) -> None:
+        with self._lock:
+            if fn not in self._subscribers:
+                self._subscribers.append(fn)
+
+    def unsubscribe(self, fn: Callable[[dict[str, Any]], None]) -> None:
+        with self._lock:
+            if fn in self._subscribers:
+                self._subscribers.remove(fn)
+
+    def publish(self, event: dict[str, Any]) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers)
+            self.published += 1
+        for fn in subscribers:
+            try:
+                fn(event)
+            except Exception:
+                self.dropped += 1
+
+
+class StreamForwardSink:
+    """Trace sink that forwards annotated event copies to a live channel.
+
+    Emitting never raises: a torn pipe or full queue silently drops the
+    live copy (the buffered original still reaches the merged trace).
+    """
+
+    def __init__(self, send: Callable[[dict[str, Any]], None], context: dict[str, Any]):
+        self._send = send
+        self.context = {k: v for k, v in context.items() if v is not None}
+
+    def emit(self, event: dict[str, Any]) -> None:
+        ev = dict(event)
+        ev.update(self.context)
+        try:
+            self._send(ev)
+        except Exception:
+            pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Process-local worker channel
+
+_channel: Callable[[dict[str, Any]], None] | None = None
+_worker_id: int | str | None = None
+
+
+def set_worker_channel(
+    send: Callable[[dict[str, Any]], None], worker_id: int | str | None = None
+) -> None:
+    """Install this process's live-event channel (scheduler/pool/serial)."""
+    global _channel, _worker_id
+    _channel = send
+    _worker_id = worker_id
+
+
+def clear_worker_channel() -> None:
+    global _channel, _worker_id
+    _channel = None
+    _worker_id = None
+
+
+def worker_channel() -> Callable[[dict[str, Any]], None] | None:
+    return _channel
+
+
+def worker_id() -> int | str | None:
+    return _worker_id
+
+
+def forward_sink_for(payload: dict[str, Any]) -> StreamForwardSink | None:
+    """Build the live forwarder for one cell payload, if streaming is on.
+
+    Returns ``None`` unless the payload asked for live streaming *and*
+    this process has a registered channel — the common (non-live) case
+    costs two dict lookups.
+    """
+    if not payload.get("live"):
+        return None
+    send = worker_channel()
+    if send is None:
+        return None
+    ctx = payload.get("ctx") or {}
+    return StreamForwardSink(
+        send,
+        {
+            "run_id": ctx.get("run_id"),
+            "cell": ctx.get("cell"),
+            "worker": worker_id(),
+            "attempt": payload.get("attempt", 1),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Process-pool side-channel
+
+def pool_worker_init(q: Any) -> None:
+    """``ProcessPoolExecutor`` initializer: route live events over ``q``."""
+    set_worker_channel(q.put, worker_id=f"pid{os.getpid()}")
+
+
+class QueueDrain:
+    """Parent-side pump from the pool's ``multiprocessing.Queue`` to the bus.
+
+    Runs on a daemon thread for the lifetime of the pool; ``stop()``
+    drains whatever is still queued so no event published before the
+    pool shut down is lost.
+    """
+
+    def __init__(self, q: Any, bus: EventBus, poll_interval: float = 0.05):
+        self._queue = q
+        self._bus = bus
+        self._poll = poll_interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, name="hfast-live-drain", daemon=True)
+
+    def start(self) -> "QueueDrain":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._bus.publish(self._queue.get(timeout=self._poll))
+            except (queue_mod.Empty, OSError, EOFError):
+                continue
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        while True:  # drain stragglers enqueued before the pool exited
+            try:
+                self._bus.publish(self._queue.get_nowait())
+            except (queue_mod.Empty, OSError, EOFError):
+                break

@@ -34,8 +34,9 @@ with per-cell timings and cache statistics once the run completes.
 from __future__ import annotations
 
 import math
+import multiprocessing as mp
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any
 
@@ -45,11 +46,14 @@ from hfast.apps import DEFAULT_BACKEND, available_apps, synthesize
 from hfast.cache import DEFAULT_CACHE_DIR, CacheStats, ReproCache
 from hfast.interconnect import InterconnectConfig, evaluate_hybrid, evaluate_temporal
 from hfast.matrix import reduce_matrix
+from hfast.obs import stream
+from hfast.obs.anomaly import AnomalyDetector
 from hfast.obs.manifest import build_manifest
 from hfast.obs.metrics import log2_bucket
 from hfast.obs.profile import Observability, get_obs, using
 from hfast.records import SEND_CALLS, Trace
 from hfast.sched.cost import CostModel
+from hfast.sched.faults import inject_slow
 from hfast.sched.journal import RunJournal, build_fingerprint, journal_dir_for, new_run_id
 from hfast.sched.scheduler import SchedulerConfig, run_stealing
 from hfast.timing import DEFAULT_TIMING_SEED, TimingModel
@@ -279,18 +283,26 @@ def analyze_app(
 
 
 def _execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
-    """Worker entry point: run one cell in its own process.
+    """Cell entry point: run one cell (in-process or in a worker process).
 
     Builds a private cache handle and observability buffer, so everything
     the cell produced (summary, span/app_summary events, metrics, cache
     statistics) comes back as one picklable result the parent merges
-    deterministically.
+    deterministically. When the payload carries ``live=True`` and this
+    process has a registered stream channel, every event is *also*
+    forwarded live with trace context attached — annotated copies only,
+    so the buffered events (and therefore the merged trace) are identical
+    with and without streaming.
     """
-    obs = Observability(enabled=payload["profiled"], keep_events=True)
+    forward = stream.forward_sink_for(payload)
+    obs = Observability(enabled=payload["profiled"], trace_sink=forward, keep_events=True)
     cache = ReproCache(payload["cache_dir"], readonly=not payload["store"])
+    if forward is not None:
+        forward.emit({"event": "cell_start"})
     t0 = time.perf_counter()
     ok, summary, error = True, None, None
     try:
+        inject_slow(f"{payload['app']}_p{payload['nranks']}", payload.get("attempt", 1))
         summary = analyze_app(
             payload["app"],
             payload["nranks"],
@@ -318,25 +330,71 @@ def _execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
     }
 
 
-def _merge_cell_events(obs: Observability, events: list[dict[str, Any]]) -> None:
-    """Re-emit a worker cell's events through the parent tracer.
+def _graft_cell(obs: Observability, res: dict[str, Any], root_id: int | None) -> None:
+    """Re-emit a cell's events under a synthetic ``cell`` span.
 
-    Span ids are remapped onto the parent's id space so the merged JSONL
-    trace stays collision-free; relative parent/child structure within the
-    cell is preserved.
+    Every attempt's events (failed prior attempts included) are remapped
+    onto the parent tracer's id space and re-rooted: a worker-side root
+    span (``parent_id is None``) becomes a child of the cell span, tagged
+    with its attempt number, so retries appear as sibling subtrees rather
+    than duplicate roots. The cell span itself hangs off ``root_id`` (the
+    run's ``pipeline`` span), making the merged trace one tree.
+
+    Empty attempt batches (faults that fired before any span was emitted)
+    graft nothing and reserve no ids, so fault-injected runs keep the
+    exact span numbering of a clean run.
     """
-    if not obs.enabled or not events:
+    if not obs.enabled:
         return
-    span_ids = [e["span_id"] for e in events if e.get("event") == "span"]
-    base = obs.tracer.reserve_ids(max(span_ids) if span_ids else 0)
-    for ev in events:
-        ev = dict(ev)
-        kind = ev.pop("event")
-        if kind == "span":
-            ev["span_id"] = ev["span_id"] + base
-            if ev.get("parent_id") is not None:
-                ev["parent_id"] = ev["parent_id"] + base
-        obs.tracer.emit_event(kind, ev)
+    tracer = obs.tracer
+    cell_span_id = tracer.reserve_ids(1)
+    batches = list(res.get("prior_attempts") or [])
+    batches.append({"attempt": res.get("attempts", 1), "events": res.get("events") or []})
+    for batch in batches:
+        events = batch.get("events") or []
+        if not events:
+            continue
+        max_local = max(
+            (e["span_id"] for e in events if e.get("event") == "span"), default=0
+        )
+        # Claim max_local + 1 ids: remapped ids land on base+1..base+max_local,
+        # keeping the tracer's next fresh id clear of the block.
+        base = tracer.reserve_ids(max_local + 1)
+        for ev in events:
+            ev = dict(ev)
+            kind = ev.pop("event")
+            if kind == "span":
+                ev["span_id"] = ev["span_id"] + base
+                if ev.get("parent_id") is None:
+                    ev["parent_id"] = cell_span_id
+                    attrs = dict(ev.get("attrs") or {})
+                    attrs["attempt"] = batch.get("attempt", 1)
+                    ev["attrs"] = attrs
+                else:
+                    ev["parent_id"] = ev["parent_id"] + base
+                ev["depth"] = ev.get("depth", 0) + 2
+            else:
+                # Non-span worker events (app_summary) keep a pointer to
+                # their cell so the trace tree covers every event.
+                ev.setdefault("parent_id", cell_span_id)
+            tracer.emit_event(kind, ev)
+    tracer.emit_event(
+        "span",
+        {
+            "name": "cell",
+            "span_id": cell_span_id,
+            "parent_id": root_id,
+            "depth": 1,
+            "wall_s": res.get("wall_s", 0.0),
+            "peak_rss_kb": 0,
+            "attrs": {
+                "app": res["app"],
+                "nranks": res["nranks"],
+                "attempts": res.get("attempts", 1),
+                "ok": bool(res.get("ok")),
+            },
+        },
+    )
 
 
 def _merge_cache_stats(target: CacheStats, snap: dict[str, Any]) -> None:
@@ -366,8 +424,11 @@ def run_pipeline(
     journal_dir: str | None = None,
     resume: str | None = None,
     bench_dir: str | None = ".",
+    bus: "stream.EventBus | None" = None,
+    anomaly: AnomalyDetector | None = None,
+    anomaly_threshold: float | None = None,
 ) -> dict[str, Any]:
-    """Run the analysis matrix; returns {manifest, results}.
+    """Run the analysis matrix; returns {manifest, results, anomalies}.
 
     ``workers > 1`` fans cells out over a process pool; ``shard=(i, m)``
     restricts the run to every m-th cell starting at i. Failed cells are
@@ -382,6 +443,17 @@ def run_pipeline(
     replays completed cells instead of re-running them. Scheduler
     bookkeeping lands in ``manifest["scheduler"]``; per-cell ``attempts``
     in ``manifest["cells"]``.
+
+    ``bus`` turns on live telemetry: run/cell state transitions and every
+    worker event (with trace context attached) are published to the bus
+    as they happen. The stream is a strict side-channel — merged trace,
+    metrics, manifest, and report artifacts are identical with and
+    without it.
+
+    Completed cells are scored by an online straggler/regression detector
+    (``anomaly``, or a default calibrated from ``bench_dir`` and
+    ``anomaly_threshold``); flagged cells are emitted as ``anomaly``
+    trace events and returned under ``"anomalies"``.
     """
     if scheduler not in SCHEDULERS:
         raise ValueError(f"unknown scheduler '{scheduler}' (expected one of {SCHEDULERS})")
@@ -398,6 +470,7 @@ def run_pipeline(
 
     sched_info: dict[str, Any] = {"backend": scheduler}
     journal: RunJournal | None = None
+    run_id: str | None = None
     if scheduler == "stealing":
         fingerprint = build_fingerprint(
             apps, scales, cache_dir, backend, timing_seed, store,
@@ -413,11 +486,24 @@ def run_pipeline(
             journal = RunJournal.create(jdir, run_id, fingerprint)
         sched_info["run_id"] = run_id
         sched_info["resumed"] = resume is not None
+    elif bus is not None:
+        # Live-only identity; deliberately kept out of the static manifest
+        # so live mode cannot perturb the deterministic artifacts.
+        run_id = new_run_id()
 
     manifest = build_manifest(
         apps, scales, argv=argv, workers=workers, shard=shard, scheduler=sched_info
     )
     obs.tracer.emit_event("manifest", manifest)
+
+    cost_model: CostModel | None = None
+    if scheduler == "stealing" or bus is not None:
+        cost_model = CostModel.from_bench_dir(bench_dir)
+
+    detector = anomaly
+    if detector is None and (obs.enabled or bus is not None):
+        kwargs = {"threshold": anomaly_threshold} if anomaly_threshold else {}
+        detector = AnomalyDetector.from_bench_dir(bench_dir, **kwargs)
 
     def payload_for(cell: Cell) -> dict[str, Any]:
         return {
@@ -430,6 +516,12 @@ def run_pipeline(
             "backend": backend,
             "timing_seed": timing_seed,
             "profiled": obs.enabled,
+            "live": bus is not None,
+            "ctx": (
+                {"run_id": run_id, "cell": cell.key, "index": cell.index}
+                if bus is not None
+                else None
+            ),
         }
 
     def report_for(res: dict[str, Any]) -> dict[str, Any]:
@@ -442,21 +534,63 @@ def run_pipeline(
             "attempts": res.get("attempts", 1),
         }
 
+    def merge_one(res: dict[str, Any]) -> None:
+        _graft_cell(obs, res, root_id)
+        if obs.enabled:
+            obs.metrics.merge_snapshot(res["metrics"])
+        _merge_cache_stats(cache.stats, res["cache"])
+        cell_reports.append(report_for(res))
+        if res["summary"] is not None:
+            results.append(res["summary"])
+        if detector is not None:
+            found = detector.observe(
+                res["app"],
+                res["nranks"],
+                res["wall_s"],
+                attempts=res.get("attempts", 1),
+                ok=bool(res["ok"]),
+            )
+            for a in found:
+                anomalies.append(a)
+                obs.tracer.emit_event("anomaly", a)
+                if bus is not None:
+                    bus.publish({"event": "anomaly", **a})
+
     def merge_raw(raw: list[dict[str, Any]]) -> None:
         # Completion order is nondeterministic; merge in cell order.
         raw.sort(key=lambda r: r["index"])
         for res in raw:
-            _merge_cell_events(obs, res["events"])
-            if obs.enabled:
-                obs.metrics.merge_snapshot(res["metrics"])
-            _merge_cache_stats(cache.stats, res["cache"])
-            cell_reports.append(report_for(res))
-            if res["summary"] is not None:
-                results.append(res["summary"])
+            merge_one(res)
 
     cell_reports: list[dict[str, Any]] = []
     results: list[dict[str, Any]] = []
-    with obs.tracer.span("pipeline", napps=len(apps), ncells=len(cells), workers=workers):
+    anomalies: list[dict[str, Any]] = []
+    root_id: int | None = None
+    with obs.tracer.span(
+        "pipeline", napps=len(apps), ncells=len(cells), workers=workers
+    ) as pipe_sp:
+        root_id = getattr(pipe_sp, "span_id", None)
+        if bus is not None:
+            bus.publish(
+                {
+                    "event": "run_start",
+                    "run_id": run_id,
+                    "scheduler": scheduler,
+                    "workers": workers,
+                    "cells": [
+                        {
+                            "cell": c.key,
+                            "app": c.app,
+                            "nranks": c.nranks,
+                            "index": c.index,
+                            "est": cost_model.estimate(c.app, c.nranks)
+                            if cost_model is not None
+                            else None,
+                        }
+                        for c in cells
+                    ],
+                }
+            )
         if scheduler == "stealing":
             sched_cfg = SchedulerConfig(
                 workers=max(1, workers),
@@ -469,42 +603,80 @@ def run_pipeline(
                 lambda cell, attempt: payload_for(cell),
                 _execute_cell,
                 sched_cfg,
-                cost_model=CostModel.from_bench_dir(bench_dir),
+                cost_model=cost_model,
                 obs=obs,
                 journal=journal,
+                on_event=bus.publish if bus is not None else None,
             )
             merge_raw(list(raw))
             sched_info.update(stats)
             sched_info["backend"] = "stealing"
             sched_info["journal"] = str(journal.path) if journal is not None else None
         elif workers <= 1 or len(cells) <= 1:
-            for cell in cells:
-                t0 = time.perf_counter()
-                ok, summary, error = True, None, None
-                try:
-                    summary = analyze_app(
-                        cell.app, cell.nranks, cache, obs,
-                        config=config, store=store, backend=backend,
-                        timing_seed=timing_seed,
-                    )
-                except Exception as exc:
-                    ok, error = False, f"{type(exc).__name__}: {exc}"
-                cell_reports.append(
-                    {
-                        "app": cell.app,
-                        "nranks": cell.nranks,
-                        "ok": ok,
-                        "wall_s": round(time.perf_counter() - t0, 6),
-                        "error": error,
-                        "attempts": 1,
-                    }
-                )
-                if summary is not None:
-                    results.append(summary)
+            # Serial runs execute through the exact same cell harness as the
+            # parallel backends, so all three produce one trace shape.
+            if bus is not None:
+                stream.set_worker_channel(bus.publish, worker_id=0)
+            try:
+                for cell in cells:
+                    if bus is not None:
+                        bus.publish(
+                            {
+                                "event": "cell_state",
+                                "state": "running",
+                                "cell": cell.key,
+                                "worker": 0,
+                                "attempt": 1,
+                                "stolen": False,
+                            }
+                        )
+                    res = _execute_cell(payload_for(cell))
+                    if bus is not None:
+                        bus.publish(
+                            {
+                                "event": "cell_state",
+                                "state": "done" if res["ok"] else "failed",
+                                "cell": cell.key,
+                                "worker": 0,
+                                "attempt": 1,
+                                "wall_s": res["wall_s"],
+                            }
+                        )
+                    merge_one(res)
+            finally:
+                if bus is not None:
+                    stream.clear_worker_channel()
         else:
             payloads = [payload_for(cell) for cell in cells]
-            with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
-                raw = list(pool.map(_execute_cell, payloads))
+            n_workers = min(workers, len(cells))
+            if bus is not None:
+                q = mp.get_context().Queue()
+                drain = stream.QueueDrain(q, bus).start()
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=n_workers,
+                        initializer=stream.pool_worker_init,
+                        initargs=(q,),
+                    ) as pool:
+                        futures = [pool.submit(_execute_cell, p) for p in payloads]
+                        raw = []
+                        for fut in as_completed(futures):
+                            res = fut.result()
+                            raw.append(res)
+                            bus.publish(
+                                {
+                                    "event": "cell_state",
+                                    "state": "done" if res["ok"] else "failed",
+                                    "cell": f"{res['app']}_p{res['nranks']}",
+                                    "attempt": 1,
+                                    "wall_s": res["wall_s"],
+                                }
+                            )
+                finally:
+                    drain.stop()
+            else:
+                with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                    raw = list(pool.map(_execute_cell, payloads))
             merge_raw(raw)
 
     manifest["cells"] = cell_reports
@@ -514,4 +686,13 @@ def run_pipeline(
     manifest["cache"] = cache.stats.to_dict()
     manifest["scheduler"] = sched_info
     obs.tracer.emit_event("manifest", manifest)
-    return {"manifest": manifest, "results": results}
+    if bus is not None:
+        bus.publish(
+            {
+                "event": "run_end",
+                "run_id": run_id,
+                "failed_cells": manifest["failed_cells"],
+                "anomalies": len(anomalies),
+            }
+        )
+    return {"manifest": manifest, "results": results, "anomalies": anomalies}

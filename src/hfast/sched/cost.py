@@ -95,19 +95,30 @@ class CostModel:
         Any read/parse problem degrades to the uncalibrated analytic
         model — prior-run telemetry must never block a new run.
         """
-        if bench_dir is None:
-            return cls()
-        try:
-            found = sorted(Path(bench_dir).glob("BENCH_*.json"), key=_bench_sort_key)
-        except OSError:
-            return cls()
-        if not found:
-            return cls()
-        try:
-            doc = json.loads(found[-1].read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return cls()
-        return cls(measured=cells_from_bench(doc))
+        return cls(measured=load_bench_measurements(bench_dir))
+
+
+def load_bench_measurements(bench_dir: str | Path | None) -> dict[tuple[str, int], float]:
+    """Per-cell wall times from the newest ``BENCH_*.json`` in a directory.
+
+    Strictly best-effort: a missing directory, no snapshots, or a
+    malformed file all return an empty mapping rather than raising. Used
+    both to calibrate the scheduler's cost model and as the regression
+    baseline for the online anomaly detector.
+    """
+    if bench_dir is None:
+        return {}
+    try:
+        found = sorted(Path(bench_dir).glob("BENCH_*.json"), key=_bench_sort_key)
+    except OSError:
+        return {}
+    if not found:
+        return {}
+    try:
+        doc = json.loads(found[-1].read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    return cells_from_bench(doc)
 
 
 def cells_from_bench(doc: Any) -> dict[tuple[str, int], float]:

@@ -10,6 +10,8 @@ variable (inherited by worker processes), as a comma-separated list of
   finishes, so the parent's heartbeat timeout must fire;
 - ``flaky`` — raise :class:`TransientFault` (an ordinary in-cell failure
   the retry policy absorbs);
+- ``slow``  — sleep inside the cell's timed region so the cell succeeds
+  but with an inflated wall time (exercises the straggler detector);
 
 ``cell_key`` is the ``{app}_p{nranks}`` cell name and ``n`` is the number
 of leading attempts affected: ``crash:gtc_p16:1`` kills the worker on
@@ -27,9 +29,10 @@ import threading
 import time
 
 FAULT_ENV_VAR = "HFAST_FAULT_INJECT"
-FAULT_MODES = ("crash", "hang", "flaky")
+FAULT_MODES = ("crash", "hang", "flaky", "slow")
 
 _HANG_SECONDS = 3600.0
+_SLOW_SECONDS = 1.0  # tests monkeypatch this down
 
 
 class TransientFault(RuntimeError):
@@ -91,3 +94,20 @@ def maybe_inject(cell_key: str, attempt: int, wedge: threading.Event | None = No
         time.sleep(_HANG_SECONDS)
     elif mode == "flaky":
         raise TransientFault(f"injected transient fault for {cell_key} attempt {attempt}")
+    # "slow" fires from inject_slow() inside the cell's timed region instead:
+    # sleeping here would not inflate the wall time _execute_cell measures.
+
+
+def inject_slow(cell_key: str, attempt: int) -> None:
+    """Fire a configured ``slow`` fault for (cell, attempt), if any.
+
+    Called from inside the cell's measured window (so the delay shows up
+    in the cell's ``wall_s`` and trips the straggler detector). No-op for
+    every other fault mode.
+    """
+    spec = os.environ.get(FAULT_ENV_VAR)
+    if not spec:
+        return
+    fault = parse_fault_spec(spec).get(cell_key)
+    if fault is not None and fault[0] == "slow" and attempt <= fault[1]:
+        time.sleep(_SLOW_SECONDS)

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Sequence
 
+from hfast.obs import stream
 from hfast.obs.profile import Observability
 from hfast.sched.cost import CostModel
 from hfast.sched.faults import TransientFault, maybe_inject
@@ -114,6 +115,11 @@ def _worker_main(
             except (BrokenPipeError, OSError):
                 pass
 
+    # Live telemetry rides the same duplex pipe as ("ev", event) messages.
+    # Registration is unconditional; the forwarder only engages for payloads
+    # that carry live=True, so non-live runs never send an "ev".
+    stream.set_worker_channel(lambda ev: send(("ev", ev)), worker_id=worker_id)
+
     def beat() -> None:
         while not wedge.is_set():
             time.sleep(beat_interval)
@@ -177,6 +183,7 @@ def run_stealing(
     cost_model: CostModel | None = None,
     obs: Observability | None = None,
     journal: RunJournal | None = None,
+    on_event: Callable[[dict[str, Any]], None] | None = None,
 ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
     """Run cells under the work-stealing scheduler.
 
@@ -185,8 +192,21 @@ def run_stealing(
     and ``stats`` is the scheduler bookkeeping destined for the run
     manifest. Every result carries ``attempts``; failed cells have
     ``ok=False`` after exhausting their retries.
+
+    ``on_event`` receives live telemetry as it happens: scheduling
+    transitions (``cell_state``/``worker_lost``/``heartbeat``) plus
+    every ``("ev", ...)`` message a worker forwards over its pipe. It is
+    a pure side-channel — exceptions are swallowed, and nothing it sees
+    feeds back into results or stats.
     """
     cost_model = cost_model or CostModel()
+
+    def emit_live(event: dict[str, Any]) -> None:
+        if on_event is not None:
+            try:
+                on_event(event)
+            except Exception:
+                pass
     stats: dict[str, Any] = {
         "backend": "stealing",
         "workers": config.workers,
@@ -203,6 +223,9 @@ def run_stealing(
     }
     completed: dict[int, dict[str, Any]] = {}
     attempts: dict[int, int] = {}
+    # Events from failed attempts, kept so retries graft as sibling spans
+    # under the cell span instead of vanishing (or duplicating roots).
+    prior_attempts: dict[int, list[dict[str, Any]]] = {}
 
     if journal is not None:
         for cell in cells:
@@ -257,12 +280,23 @@ def run_stealing(
             heapq.heappush(pending, (neg_cost, index, cell))
             attempts[index] -= 1
             return False
-        if slot.had_task:
+        stolen = slot.had_task
+        if stolen:
             stats["steals"] += 1
         slot.had_task = True
         slot.busy = (index, cell)
         slot.last_beat = time.monotonic()
         stats["tasks_dispatched"] += 1
+        emit_live(
+            {
+                "event": "cell_state",
+                "state": "running",
+                "cell": f"{cell.app}_p{cell.nranks}",
+                "worker": slot.worker_id,
+                "attempt": attempts[index],
+                "stolen": stolen,
+            }
+        )
         return True
 
     def retire(slot: _WorkerSlot) -> None:
@@ -285,20 +319,48 @@ def run_stealing(
         slot.busy = None
         slot.last_beat = time.monotonic()
         n_attempts = attempts.get(index, 1)
+        key = f"{result['app']}_p{result['nranks']}"
         if not result.get("ok") and n_attempts <= config.max_retries and cell is not None:
             stats["retries"] += 1
+            prior_attempts.setdefault(index, []).append(
+                {
+                    "attempt": n_attempts,
+                    "events": result.get("events") or [],
+                    "error": result.get("error"),
+                }
+            )
             due = time.monotonic() + config.retry_backoff * (2 ** (n_attempts - 1))
             heapq.heappush(delayed, (due, -cost_model.estimate(cell.app, cell.nranks), index, cell))
+            emit_live(
+                {
+                    "event": "cell_state",
+                    "state": "retry",
+                    "cell": key,
+                    "worker": slot.worker_id,
+                    "attempt": n_attempts,
+                    "error": result.get("error"),
+                }
+            )
         else:
             result = dict(result)
             result["attempts"] = n_attempts
             result["worker"] = slot.worker_id
+            if index in prior_attempts:
+                result["prior_attempts"] = prior_attempts.pop(index)
             completed[index] = result
             slot.tasks_done += 1
             if result.get("ok") and journal is not None:
-                journal.record_done(
-                    index, f"{result['app']}_p{result['nranks']}", n_attempts, result
-                )
+                journal.record_done(index, key, n_attempts, result)
+            emit_live(
+                {
+                    "event": "cell_state",
+                    "state": "done" if result.get("ok") else "failed",
+                    "cell": key,
+                    "worker": slot.worker_id,
+                    "attempt": n_attempts,
+                    "wall_s": result.get("wall_s"),
+                }
+            )
         if obs is not None and obs.enabled:
             obs.metrics.counter("sched.tasks_finished").inc()
             obs.tracer.emit_event(
@@ -314,10 +376,21 @@ def run_stealing(
 
     def handle_lost_worker(slot: _WorkerSlot, reason: str) -> None:
         stats["workers_lost"] += 1
+        emit_live(
+            {
+                "event": "worker_lost",
+                "worker": slot.worker_id,
+                "cell": f"{slot.busy[1].app}_p{slot.busy[1].nranks}" if slot.busy else None,
+                "reason": reason,
+            }
+        )
         if slot.busy is not None:
             index, cell = slot.busy
             slot.busy = None
             stats["redispatches"] += 1
+            prior_attempts.setdefault(index, []).append(
+                {"attempt": attempts.get(index, 1), "events": [], "error": reason}
+            )
             if attempts.get(index, 1) <= config.max_retries:
                 # Crash re-dispatch goes straight back onto the queue: the
                 # failure was the worker's, not the cell's.
@@ -325,7 +398,10 @@ def run_stealing(
                     pending, (-cost_model.estimate(cell.app, cell.nranks), index, cell)
                 )
             else:
-                completed[index] = _death_result(cell, attempts.get(index, 1), reason)
+                dead = _death_result(cell, attempts.get(index, 1), reason)
+                if index in prior_attempts:
+                    dead["prior_attempts"] = prior_attempts.pop(index)
+                completed[index] = dead
         retire(slot)
 
     try:
@@ -365,8 +441,19 @@ def run_stealing(
                     kind = msg[0]
                     if kind == "beat":
                         slot.last_beat = time.monotonic()
+                        if on_event is not None:
+                            busy = slot.busy
+                            emit_live(
+                                {
+                                    "event": "heartbeat",
+                                    "worker": slot.worker_id,
+                                    "cell": f"{busy[1].app}_p{busy[1].nranks}" if busy else None,
+                                }
+                            )
                     elif kind == "started":
                         slot.last_beat = time.monotonic()
+                    elif kind == "ev":
+                        emit_live(msg[1])
                     elif kind == "result":
                         handle_finished(slot, msg[1], msg[2])
 

@@ -1,0 +1,149 @@
+"""The --live status view, driven by scripted bus events.
+
+No pipeline here: events are fed straight into ``LiveView.handle`` so
+the per-cell state machine, counters, ETA, straggler surfacing, and the
+TTY / non-TTY rendering paths are all tested deterministically.
+"""
+
+import io
+
+from hfast.obs.live import LiveView
+from hfast.obs.stream import EventBus
+
+
+def make_view(**kwargs):
+    kwargs.setdefault("out", io.StringIO())
+    kwargs.setdefault("force_tty", False)
+    return LiveView(**kwargs)
+
+
+def run_start(cells=("gtc_p8", "cactus_p8"), est=2.0):
+    return {
+        "event": "run_start",
+        "run_id": "r1",
+        "scheduler": "stealing",
+        "workers": 2,
+        "cells": [
+            {"cell": c, "app": c.split("_p")[0], "nranks": int(c.split("_p")[1]),
+             "index": i, "est": est}
+            for i, c in enumerate(cells)
+        ],
+    }
+
+
+def test_state_machine_tracks_cell_lifecycle():
+    view = make_view()
+    view.handle(run_start())
+    snap = view.snapshot()
+    assert snap["run_id"] == "r1" and snap["workers"] == 2
+    assert snap["order"] == ["gtc_p8", "cactus_p8"]
+    assert snap["counts"]["queued"] == 2
+
+    view.handle({"event": "cell_state", "state": "running", "cell": "gtc_p8",
+                 "worker": 1, "attempt": 1, "stolen": False})
+    view.handle({"event": "cell_state", "state": "retry", "cell": "gtc_p8",
+                 "worker": 1, "attempt": 1, "error": "boom"})
+    view.handle({"event": "cell_state", "state": "running", "cell": "gtc_p8",
+                 "worker": 0, "attempt": 2, "stolen": True})
+    view.handle({"event": "cell_state", "state": "done", "cell": "gtc_p8",
+                 "worker": 0, "attempt": 2, "wall_s": 1.25})
+    snap = view.snapshot()
+    gtc = snap["cells"]["gtc_p8"]
+    assert gtc["state"] == "done" and gtc["attempts"] == 2 and gtc["wall_s"] == 1.25
+    assert snap["counters"]["retries"] == 1 and snap["counters"]["steals"] == 1
+    assert snap["counts"] == {"queued": 1, "running": 0, "retry": 0, "done": 1, "failed": 0}
+    # One cell done out of two equal-cost cells: ETA becomes computable.
+    assert snap["eta_s"] is not None and snap["eta_s"] >= 0.0
+
+
+def test_unknown_cell_and_worker_lost_are_tolerated():
+    view = make_view()
+    # cell_state before run_start (e.g. subscriber attached late).
+    view.handle({"event": "cell_state", "state": "running", "cell": "lbmhd_p8",
+                 "worker": 0, "attempt": 1})
+    view.handle({"event": "worker_lost", "worker": 0, "cell": "lbmhd_p8", "reason": "died"})
+    snap = view.snapshot()
+    assert snap["cells"]["lbmhd_p8"]["state"] == "running"
+    assert snap["counters"]["workers_lost"] == 1
+    assert snap["eta_s"] is None  # no cost estimates, no ETA
+
+
+def test_render_lines_and_summary_line():
+    view = make_view()
+    view.handle(run_start())
+    view.handle({"event": "cell_state", "state": "running", "cell": "gtc_p8",
+                 "worker": 1, "attempt": 1, "stolen": False})
+    view.handle({"event": "cell_state", "state": "done", "cell": "gtc_p8",
+                 "worker": 1, "attempt": 1, "wall_s": 0.5})
+    view.handle({"event": "anomaly", "kind": "straggler", "cell": "cactus_p8",
+                 "wall_s": 9.0, "expected_s": 1.0, "ratio": 9.0})
+    view.handle({"event": "cell_state", "state": "running", "cell": "cactus_p8",
+                 "worker": 0, "attempt": 1, "stolen": False})
+
+    lines = view.render_lines()
+    assert lines[0].startswith("hfast live · run r1 · stealing x2")
+    assert any("+ gtc_p8" in line and "0.50s" in line for line in lines)
+    assert any("> cactus_p8" in line and "STRAGGLER" in line for line in lines)
+
+    summary = view.summary_line()
+    assert summary.startswith("live: 1+0/2 done")
+    assert "running=1" in summary
+    assert "stragglers=cactus_p8" in summary
+
+
+def test_non_tty_stop_emits_final_summary_line():
+    view = make_view()
+    view.start()
+    view.handle(run_start())
+    view.handle({"event": "cell_state", "state": "done", "cell": "gtc_p8",
+                 "worker": 0, "attempt": 1, "wall_s": 0.1})
+    view.handle({"event": "run_end", "run_id": "r1", "failed_cells": [], "anomalies": 0})
+    view.stop()
+    logged = view.out.getvalue()
+    assert "live: 1+0/2 done" in logged
+    assert "\x1b[" not in logged  # no terminal control on a non-TTY
+
+
+def test_tty_mode_repaints_with_ansi_escapes():
+    view = make_view(force_tty=True, refresh=0.0)
+    view.handle(run_start())
+    view.handle({"event": "cell_state", "state": "running", "cell": "gtc_p8",
+                 "worker": 0, "attempt": 1, "stolen": False})
+    out = view.out.getvalue()
+    assert "\x1b[2K" in out  # line-clear on every painted row
+    assert "\x1b[3A" in out or "\x1b[4A" in out  # second paint moved the cursor up
+
+
+def test_detector_flags_inflight_straggler_on_paint():
+    class AlwaysLate:
+        def check_running(self, app, nranks, elapsed_s):
+            return {"kind": "straggler_running", "cell": f"{app}_p{nranks}",
+                    "wall_s": elapsed_s, "expected_s": 0.0, "ratio": 999.0}
+
+    view = make_view(detector=AlwaysLate())
+    view.handle(run_start(cells=("paratec_p8",)))
+    view.handle({"event": "cell_state", "state": "running", "cell": "paratec_p8",
+                 "worker": 0, "attempt": 1, "stolen": False})
+    view.stop()  # final paint runs the straggler check
+    assert "stragglers=paratec_p8" in view.out.getvalue()
+
+
+def test_broken_output_stream_never_raises():
+    out = io.StringIO()
+    view = make_view(out=out)
+    view.handle(run_start())
+    out.close()
+    view.handle({"event": "cell_state", "state": "done", "cell": "gtc_p8",
+                 "worker": 0, "attempt": 1, "wall_s": 0.1})
+    view.stop()  # paints into a closed stream: swallowed
+
+
+def test_view_composes_with_bus():
+    bus = EventBus()
+    view = make_view()
+    bus.subscribe(view.handle)
+    bus.publish(run_start())
+    bus.publish({"event": "run_end", "run_id": "r1", "failed_cells": [], "anomalies": 0})
+    snap = view.snapshot()
+    assert snap["done"] and snap["counters"]["events"] == 2
+    assert bus.dropped == 0

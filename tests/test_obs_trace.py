@@ -114,3 +114,55 @@ def test_wall_time_uses_injected_clock():
     with tracer.span("timed"):
         pass
     assert tracer.sink.events[0]["wall_s"] == pytest.approx(3.5)
+
+
+# ---------------------------------------------------------------------------
+# JsonlSink write buffering
+
+
+def test_jsonl_sink_buffers_emits_until_flush(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(path)
+    for i in range(10):
+        sink.emit({"event": "span", "i": i})
+    # Small events stay in the stream buffer: no per-event flush syscall.
+    assert path.read_text() == ""
+    sink.flush()
+    assert len(path.read_text().splitlines()) == 10
+    sink.close()
+
+
+def test_jsonl_sink_close_loses_no_events(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(path)
+    n = 500
+    for i in range(n):
+        sink.emit({"event": "span", "i": i})
+    sink.close()
+    events = read_events(path)
+    assert [e["i"] for e in events] == list(range(n))
+
+
+def test_jsonl_sink_close_flushes_unowned_stream(tmp_path):
+    import io
+
+    stream = io.StringIO()
+    sink = JsonlSink(stream)
+    sink.emit({"event": "manifest"})
+    sink.close()
+    # close() flushed but did not close a stream it does not own.
+    assert not stream.closed
+    assert json.loads(stream.getvalue()) == {"event": "manifest"}
+
+
+def test_tracer_flush_reaches_the_sink(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = SpanTracer(sink=JsonlSink(path))
+    with tracer.span("a"):
+        pass
+    tracer.flush()  # the live path flushes mid-run without closing
+    assert [e["name"] for e in read_events(path)] == ["a"]
+    with tracer.span("b"):
+        pass
+    tracer.close()
+    assert [e["name"] for e in read_events(path)] == ["a", "b"]
