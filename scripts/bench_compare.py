@@ -64,10 +64,13 @@ def stage_walls(doc: dict) -> dict[str, float]:
     }
 
 
-def compare(base: dict, cand: dict, max_regress: float, min_wall: float) -> list[str]:
-    """Return a list of failure messages; print the comparison table."""
+def compare(
+    base: dict, cand: dict, max_regress: float, min_wall: float
+) -> tuple[list[str], list[dict]]:
+    """Return (failure messages, delta rows); print the comparison table."""
     base_walls, cand_walls = stage_walls(base), stage_walls(cand)
     failures: list[str] = []
+    rows: list[dict] = []
     header = f"{'stage':<22} {'base (s)':>10} {'cand (s)':>10} {'delta':>9}  verdict"
     print(header)
     print("-" * len(header))
@@ -76,6 +79,8 @@ def compare(base: dict, cand: dict, max_regress: float, min_wall: float) -> list
         if b is None or c is None:
             which = "candidate" if b is None else "baseline"
             print(f"{stage:<22} {b or 0:>10.4f} {c or 0:>10.4f} {'--':>9}  only-in-{which}")
+            rows.append({"stage": stage, "base_s": b, "cand_s": c,
+                         "delta_pct": None, "verdict": f"only-in-{which}"})
             continue
         delta_pct = 100.0 * (c - b) / b if b > 0 else 0.0
         if b < min_wall:
@@ -89,7 +94,17 @@ def compare(base: dict, cand: dict, max_regress: float, min_wall: float) -> list
         else:
             verdict = "ok"
         print(f"{stage:<22} {b:>10.4f} {c:>10.4f} {delta_pct:>+8.1f}%  {verdict}")
-    return failures
+        rows.append({"stage": stage, "base_s": round(b, 6), "cand_s": round(c, 6),
+                     "delta_pct": round(delta_pct, 2), "verdict": verdict})
+    return failures, rows
+
+
+def write_record(path: Path, doc: dict) -> None:
+    """Persist the delta table (used by CI to archive mitigation on/off
+    wall-time comparisons); never changes the exit status."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"bench_compare: delta record written to {path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -104,6 +119,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="max allowed stage wall-time growth in percent")
     parser.add_argument("--min-wall", type=float, default=0.05,
                         help="baseline seconds below which a stage cannot fail")
+    parser.add_argument("--record", type=Path, default=None,
+                        help="write the delta table as JSON here (informational; "
+                             "does not affect pass/fail)")
     args = parser.parse_args(argv)
 
     # CI invokes this as `bench_compare.py "$(ls -t ...)" "$(ls -t ...)"`;
@@ -118,6 +136,8 @@ def main(argv: list[str] | None = None) -> int:
             f"bench_compare: no baseline to compare {paths[0]} against; "
             "first run — nothing to guard"
         )
+        if args.record:
+            write_record(args.record, {"skipped": "no baseline"})
         return 0
     if paths:
         base_path, cand_path = paths
@@ -125,6 +145,8 @@ def main(argv: list[str] | None = None) -> int:
         pair = pick_newest_two(args.dir)
         if pair is None:
             print(f"bench_compare: fewer than two BENCH_*.json in {args.dir}; nothing to compare")
+            if args.record:
+                write_record(args.record, {"skipped": "fewer than two snapshots"})
             return 0
         base_path, cand_path = pair
 
@@ -140,9 +162,30 @@ def main(argv: list[str] | None = None) -> int:
             f"bench_compare: worker counts differ (baseline {bw}, candidate {cw}); "
             "stage walls are per-process sums — skipping comparison"
         )
+        if args.record:
+            write_record(args.record, {"skipped": f"worker mismatch ({bw} vs {cw})"})
         return 0
-    failures = compare(base, cand, args.max_regress, args.min_wall)
+    failures, rows = compare(base, cand, args.max_regress, args.min_wall)
     print()
+    if args.record:
+        b_wall = (base.get("profile") or {}).get("total_wall_s")
+        c_wall = (cand.get("profile") or {}).get("total_wall_s")
+        write_record(args.record, {
+            "baseline": str(base_path),
+            "candidate": str(cand_path),
+            "baseline_sha": base.get("git_sha"),
+            "candidate_sha": cand.get("git_sha"),
+            "workers": bw,
+            "baseline_total_wall_s": b_wall,
+            "candidate_total_wall_s": c_wall,
+            "total_wall_delta_pct": (
+                round(100.0 * (c_wall - b_wall) / b_wall, 2)
+                if b_wall and c_wall else None
+            ),
+            "stages": rows,
+            "failures": failures,
+            "passed": not failures,
+        })
     if failures:
         for msg in failures:
             print(f"FAIL: {msg}", file=sys.stderr)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import hashlib
+import json
 import os
 import sys
 import tempfile
@@ -38,6 +39,8 @@ SRC = REPO_ROOT / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+from hfast import cli  # noqa: E402
+from hfast.obs.analytics import TraceTree, attribution, critical_path  # noqa: E402
 from hfast.obs.live import LiveView  # noqa: E402
 from hfast.obs.profile import Observability  # noqa: E402
 from hfast.obs.prom import (  # noqa: E402
@@ -155,6 +158,31 @@ def main(argv: list[str] | None = None) -> int:
         ref_d, live_d = cache_digests(base / "plain"), cache_digests(base / "live")
         if ref_d != live_d:
             problems.append("live run cache artifacts diverge from the plain reference")
+
+        # 4. Post-run trace analytics: the live leg's trace must support
+        # the full `hfast trace` toolchain (critical path, rollup,
+        # scheduler attribution), proving the observability loop closes
+        # on real fault-injected runs, not just unit fixtures.
+        trace_path = Path(args.report_dir or td) / "trace.jsonl"
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        with trace_path.open("w", encoding="utf-8") as fh:
+            for ev in obs.events:
+                fh.write(json.dumps(ev, sort_keys=True) + "\n")
+        tree = TraceTree.load(trace_path)
+        cp = critical_path(tree)
+        if not cp or cp[0]["name"] != "pipeline":
+            problems.append("trace analytics: critical path missing or not rooted at pipeline")
+        if len(tree.cells()) != len(apps):
+            problems.append(
+                f"trace analytics: expected {len(apps)} cell spans, got {len(tree.cells())}"
+            )
+        if attribution(tree) is None:
+            problems.append("trace analytics: no cell_timing events for attribution")
+        if cli.main(["trace", "summary", str(trace_path)]) != 0:
+            problems.append("`hfast trace summary` failed on the live trace")
+        else:
+            print(f"trace analytics: critical path depth {len(cp)}, "
+                  f"{len(tree.cells())} cells attributed")
 
         if args.report_dir:
             paths = write_report(

@@ -8,6 +8,7 @@ Subcommands::
                             [--trace-out T.jsonl] [--metrics-out M.json]
                             [--report-dir DIR] [--bench-dir DIR] ...
     python -m hfast report  --trace T.jsonl [--report-dir DIR] [--bench-dir DIR]
+    python -m hfast trace   {summary,critical-path,flame,gantt,diff} TRACE ...
     python -m hfast apps
 
 ``--profile`` turns the observability layer on; ``--trace-out`` /
@@ -37,6 +38,20 @@ not a TTY. ``--metrics-port N`` serves Prometheus text exposition on
 free port). Both imply ``--profile`` and are strict side-channels: the
 merged trace/metrics/report artifacts are byte-identical with or
 without them.
+
+``--mitigate`` (implies ``--scheduler stealing``) closes the
+observability loop: in-flight cells the online anomaly detector flags
+as stragglers are speculatively re-dispatched to another worker (first
+result wins) and their app's queued siblings are reprioritized. Like
+``--live``, it only changes scheduling order and wall time — results,
+cache artifacts, and report content are byte-identical either way.
+
+``hfast trace`` analyzes any ``--trace-out`` JSONL file or scheduler
+journal post-mortem: ``summary`` (critical path, stage self-times,
+scheduler attribution), ``critical-path`` (``--weight cost`` is
+backend-invariant), ``flame`` (folded stacks or speedscope JSON),
+``gantt`` (ASCII cell timeline), and ``diff A B`` (stage/cell deltas
+between two runs).
 """
 
 from __future__ import annotations
@@ -48,13 +63,15 @@ import sys
 from hfast.apps import APPS, BACKENDS, DEFAULT_BACKEND, available_apps
 from hfast.cache import DEFAULT_CACHE_DIR, CacheValidationError, ReproCache
 from hfast.interconnect import InterconnectConfig
+from hfast.obs import analytics
 from hfast.obs.anomaly import AnomalyDetector
+from hfast.obs.flame import folded_stacks, speedscope_doc
 from hfast.obs.live import LiveView
 from hfast.obs.profile import Observability, configure
 from hfast.obs.prom import MetricsServer, render_registry
 from hfast.obs.report import build_report, write_report
 from hfast.obs.stream import EventBus
-from hfast.obs.trace import JsonlSink, read_events
+from hfast.obs.trace import JsonlSink
 from hfast.pipeline import SCHEDULERS, discover_scales, run_pipeline
 from hfast.sched.journal import JournalError
 from hfast.timing import DEFAULT_TIMING_SEED
@@ -171,11 +188,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="flag a cell as a straggler when its wall time exceeds this "
              "multiple of the cost-model expectation (default: 4.0)",
     )
+    p_an.add_argument(
+        "--mitigate", action="store_true",
+        help="act on live straggler advisories: speculatively re-dispatch "
+             "flagged cells and reprioritize their app's queued siblings "
+             "(implies --scheduler stealing; results stay byte-identical)",
+    )
 
     p_rep = sub.add_parser("report", help="render a report from an existing JSONL trace")
     p_rep.add_argument("--trace", required=True, help="JSONL event trace to read")
     p_rep.add_argument("--report-dir", default=DEFAULT_REPORT_DIR)
     p_rep.add_argument("--bench-dir", default=None)
+
+    p_tr = sub.add_parser(
+        "trace", help="post-mortem analytics over a JSONL trace or run journal"
+    )
+    tr_sub = p_tr.add_subparsers(dest="trace_command", required=True)
+
+    def add_trace_source(p: argparse.ArgumentParser) -> None:
+        p.add_argument("trace", help="JSONL trace file, run-journal file, or journal directory")
+        p.add_argument("--strict", action="store_true",
+                       help="fail on malformed interior JSONL lines instead of skipping them")
+
+    p_sum = tr_sub.add_parser("summary", help="run overview: critical path, stages, attribution")
+    add_trace_source(p_sum)
+    p_sum.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    p_sum.add_argument("--top", type=int, default=5, help="entries per table")
+
+    p_cp = tr_sub.add_parser("critical-path", help="heaviest span chain through the run")
+    add_trace_source(p_cp)
+    p_cp.add_argument(
+        "--weight", choices=analytics.CRITICAL_PATH_WEIGHTS, default="wall",
+        help="edge weight: measured wall time, or the analytic cost model "
+             "(deterministic across backends and machines)",
+    )
+    p_cp.add_argument("--per-cell", action="store_true", help="one path per cell instead of the run path")
+    p_cp.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    p_fl = tr_sub.add_parser("flame", help="flamegraph export from per-span self times")
+    add_trace_source(p_fl)
+    p_fl.add_argument(
+        "--format", choices=("folded", "speedscope"), default="folded",
+        help="folded stacks for flamegraph.pl, or speedscope JSON",
+    )
+    p_fl.add_argument("--out", default=None, help="write here instead of stdout")
+
+    p_ga = tr_sub.add_parser("gantt", help="ASCII timeline of cell execution windows")
+    add_trace_source(p_ga)
+    p_ga.add_argument("--width", type=int, default=60, help="timeline width in characters")
+
+    p_di = tr_sub.add_parser("diff", help="stage/cell wall-time deltas between two runs")
+    p_di.add_argument("trace_a", help="baseline trace (A)")
+    p_di.add_argument("trace_b", help="comparison trace (B)")
+    p_di.add_argument("--strict", action="store_true",
+                      help="fail on malformed interior JSONL lines instead of skipping them")
+    p_di.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
     p_apps = sub.add_parser("apps", help="list known apps and cached traces")
     p_apps.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
@@ -208,7 +275,7 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
         timesteps=args.timesteps,
         reconfig_cost=args.reconfig_cost,
     )
-    scheduler = "stealing" if args.resume else args.scheduler
+    scheduler = "stealing" if (args.resume or args.mitigate) else args.scheduler
 
     # Live telemetry side-channels: an event bus feeding the status view,
     # and/or a background /metrics endpoint scraping the live registry.
@@ -250,6 +317,7 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
             bus=bus,
             anomaly=detector,
             anomaly_threshold=args.anomaly_threshold,
+            mitigate=args.mitigate,
         )
     except CacheValidationError as exc:
         print(f"error: cache validation failed: {exc}", file=sys.stderr)
@@ -286,6 +354,14 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
         )
         if sched.get("journal"):
             print(f"journal: {sched['journal']} (resume with --resume {sched.get('run_id')})")
+        mit = sched.get("mitigation")
+        if mit:
+            print(
+                f"mitigation: {mit.get('advisories', 0)} advisories, "
+                f"{mit.get('speculative_dispatches', 0)} speculative dispatches "
+                f"({mit.get('speculation_wins', 0)} races won), "
+                f"{mit.get('reweighted_cells', 0)} cells reweighted"
+            )
 
     if profiling:
         if args.metrics_out:
@@ -326,12 +402,130 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    events = read_events(args.trace)
+    # Tolerant loader: a trace truncated mid-line (crashed run) still
+    # renders a report from everything that made it to disk.
+    try:
+        events = analytics.load_events(args.trace)
+    except analytics.TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     report = build_report(events)
     paths = write_report(report, args.report_dir, bench_dir=args.bench_dir)
     for kind, path in paths.items():
         print(f"{kind}: {path}")
     return 0
+
+
+def _load_tree(source: str, strict: bool) -> "analytics.TraceTree":
+    tree = analytics.TraceTree.load(source, strict=strict)
+    if tree.empty:
+        raise analytics.TraceError(f"{source}: no span events in trace")
+    return tree
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    try:
+        if args.trace_command == "summary":
+            tree = _load_tree(args.trace, args.strict)
+            doc = analytics.summarize(tree, top=args.top)
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True))
+                return 0
+            print(
+                f"{doc['cells']} cells / {doc['spans']} spans, "
+                f"total wall {doc['total_wall_s']:.3f}s"
+                + (f", scheduler {doc['scheduler']}" if doc.get("scheduler") else "")
+            )
+            if doc["failed_cells"]:
+                print(f"failed cells: {', '.join(doc['failed_cells'])}")
+            if doc["anomalies"]:
+                counts = ", ".join(f"{k}={v}" for k, v in sorted(doc["anomalies"].items()))
+                print(f"anomalies: {counts}")
+            print("\ncritical path:")
+            for e in doc["critical_path"]:
+                print(f"  {'  ' * e['depth']}{e['label']}  {e['wall_s']:.4f}s")
+            print("\ntop stages by self time:")
+            for st in doc["stages"]:
+                print(
+                    f"  {st['stage']:<24s} x{st['calls']:<4d} "
+                    f"self {st['self_s']:.4f}s ({st['pct_self']:.1f}%)"
+                )
+            attr = doc.get("attribution")
+            if attr:
+                util = f"{attr['utilization']:.0%}" if attr["utilization"] is not None else "n/a"
+                print(
+                    f"\nscheduler attribution: {len(attr['lanes'])} lane(s), "
+                    f"utilization {util}, queue-wait share {attr['queue_wait_share']:.0%}, "
+                    f"retry-exec {attr['total_retry_exec_s']:.3f}s"
+                )
+            return 0
+        if args.trace_command == "critical-path":
+            tree = _load_tree(args.trace, args.strict)
+            if args.per_cell:
+                paths = analytics.cell_critical_paths(tree, weight=args.weight)
+                if args.json:
+                    print(json.dumps(paths, indent=2, sort_keys=True))
+                    return 0
+                for cell, path in paths.items():
+                    print(f"{cell}:")
+                    for e in path:
+                        print(f"  {'  ' * e['depth']}{e['label']}  weight={e['weight']:.4f}")
+                return 0
+            path = analytics.critical_path(tree, weight=args.weight)
+            if args.json:
+                print(json.dumps(path, indent=2, sort_keys=True))
+                return 0
+            for e in path:
+                flag = f"  ERROR: {e['error']}" if e.get("error") else ""
+                print(
+                    f"{'  ' * e['depth']}{e['label']}  "
+                    f"weight={e['weight']:.4f} wall={e['wall_s']:.4f}s{flag}"
+                )
+            return 0
+        if args.trace_command == "flame":
+            tree = _load_tree(args.trace, args.strict)
+            if args.format == "speedscope":
+                text = json.dumps(speedscope_doc(tree), indent=2, sort_keys=True) + "\n"
+            else:
+                text = folded_stacks(tree)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(text)
+                print(f"flame: {args.out}", file=sys.stderr)
+            else:
+                sys.stdout.write(text)
+            return 0
+        if args.trace_command == "gantt":
+            tree = _load_tree(args.trace, args.strict)
+            print(analytics.render_gantt(tree, width=args.width))
+            return 0
+        if args.trace_command == "diff":
+            tree_a = _load_tree(args.trace_a, args.strict)
+            tree_b = _load_tree(args.trace_b, args.strict)
+            doc = analytics.diff_traces(tree_a, tree_b)
+            if args.json:
+                print(json.dumps(doc, indent=2, sort_keys=True))
+                return 0
+            delta = doc["wall_delta_pct"]
+            print(
+                f"total wall: {doc['a_wall_s']:.3f}s -> {doc['b_wall_s']:.3f}s"
+                + (f" ({delta:+.1f}%)" if delta is not None else "")
+            )
+            if doc["a_critical_path"] != doc["b_critical_path"]:
+                print("critical path changed:")
+                print(f"  A: {' > '.join(doc['a_critical_path'])}")
+                print(f"  B: {' > '.join(doc['b_critical_path'])}")
+            print("\nper-cell wall deltas:")
+            for c in doc["cells"]:
+                a = f"{c['a_wall_s']:.4f}" if c["a_wall_s"] is not None else "-"
+                b = f"{c['b_wall_s']:.4f}" if c["b_wall_s"] is not None else "-"
+                d = f" ({c['delta_pct']:+.1f}%)" if c["delta_pct"] is not None else ""
+                print(f"  {c['cell']:<16s} {a} -> {b}{d}")
+            return 0
+    except analytics.TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 2
 
 
 def _cmd_apps(args: argparse.Namespace) -> int:
@@ -352,6 +546,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_analyze(args, argv)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "apps":
         return _cmd_apps(args)
     return 2

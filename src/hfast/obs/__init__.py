@@ -17,7 +17,21 @@ Everything is a no-op when the ambient instance is disabled (the default),
 so library code can instrument unconditionally.
 """
 
+from hfast.obs.analytics import (
+    SpanNode,
+    TraceError,
+    TraceTree,
+    attribution,
+    cell_critical_paths,
+    critical_path,
+    diff_traces,
+    load_events,
+    render_gantt,
+    stage_rollup,
+    summarize,
+)
 from hfast.obs.anomaly import AnomalyDetector
+from hfast.obs.flame import folded_stacks, speedscope_doc
 from hfast.obs.live import LiveView
 from hfast.obs.manifest import build_manifest, git_sha
 from hfast.obs.metrics import (
@@ -68,14 +82,23 @@ __all__ = [
     "NullSink",
     "Observability",
     "QueueDrain",
+    "SpanNode",
     "SpanTracer",
     "StreamForwardSink",
     "TeeSink",
+    "TraceError",
+    "TraceTree",
+    "attribution",
     "build_manifest",
     "build_report",
+    "cell_critical_paths",
     "configure",
+    "critical_path",
+    "diff_traces",
+    "folded_stacks",
     "get_obs",
     "git_sha",
+    "load_events",
     "log2_bucket",
     "obs_span",
     "parse_prometheus",
@@ -83,9 +106,13 @@ __all__ = [
     "profiled",
     "prometheus_projection",
     "read_events",
+    "render_gantt",
     "render_markdown",
     "render_prometheus",
     "render_registry",
+    "speedscope_doc",
+    "stage_rollup",
+    "summarize",
     "using",
     "write_report",
 ]

@@ -67,7 +67,10 @@ class AnomalyDetector:
         return len(self._ratios)
 
     def _median_ratio(self) -> float | None:
-        if len(self._ratios) < self.min_prior:
+        # max(1, min_prior): even with min_prior=0 a median needs at least
+        # one sample — indexing an empty list was a crash (regression test
+        # in test_anomaly.py).
+        if len(self._ratios) < max(1, self.min_prior):
             return None
         n = len(self._ratios)
         mid = n // 2
@@ -76,11 +79,19 @@ class AnomalyDetector:
         return 0.5 * (self._ratios[mid - 1] + self._ratios[mid])
 
     def expected(self, app: str, nranks: int) -> float | None:
-        """Predicted wall seconds for a cell, or None before warm-up."""
+        """Predicted wall seconds for a cell, or None before warm-up.
+
+        Also None when the analytic model has no cost for the cell
+        (unknown app, or a degenerate zero estimate): with no prediction
+        there is nothing meaningful to compare against.
+        """
         scale = self._median_ratio()
         if scale is None:
             return None
-        return estimate_cell_cost(app, nranks) * scale
+        analytic = estimate_cell_cost(app, nranks)
+        if analytic <= 0:
+            return None
+        return analytic * scale
 
     def observe(
         self, app: str, nranks: int, wall_s: float, attempts: int = 1, ok: bool = True
@@ -100,6 +111,7 @@ class AnomalyDetector:
         expected = self.expected(app, nranks)
         if (
             expected is not None
+            and expected > 0
             and wall_s >= self.min_wall
             and wall_s > self.threshold * expected
         ):
@@ -138,7 +150,11 @@ class AnomalyDetector:
 
         analytic = estimate_cell_cost(app, nranks)
         if analytic > 0 and wall_s > 0:
-            bisect.insort(self._ratios, wall_s / analytic)
+            # Clamp the fitted ratio: a pathological wall/cost pair (e.g. a
+            # near-zero analytic estimate) must not blow the median out to
+            # inf/0 and poison every later expected() prediction.
+            ratio = min(max(wall_s / analytic, 1e-9), 1e9)
+            bisect.insort(self._ratios, ratio)
         return anomalies
 
     def check_running(self, app: str, nranks: int, elapsed_s: float) -> dict[str, Any] | None:
@@ -151,6 +167,7 @@ class AnomalyDetector:
         expected = self.expected(app, nranks)
         if (
             expected is not None
+            and expected > 0
             and elapsed_s >= self.min_wall
             and elapsed_s > self.threshold * expected
         ):

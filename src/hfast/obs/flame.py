@@ -1,0 +1,90 @@
+"""Flamegraph exports from the unified trace tree.
+
+Two standard formats, both derived from per-span *self* time (wall minus
+child walls), so stacked widths partition the run wall exactly:
+
+- **Folded stacks** (`Brendan Gregg's flamegraph.pl` input): one line per
+  unique root-to-node stack, ``a;b;c <weight>``, weight in integer
+  microseconds.
+- **speedscope JSON** (https://www.speedscope.app): a ``sampled``-type
+  profile whose samples are the same stacks with self-second weights —
+  drag the file into the web UI and get an interactive flamegraph.
+
+Stack frames use :attr:`SpanNode.label` (stage name plus ``[app_pN]``
+when the span carries cell identity), so the cactus subtree and the
+paratec subtree stay distinguishable instead of merging into one
+``analyze_app`` frame.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from hfast.obs.analytics import SpanNode, TraceTree
+
+
+def _walk_stacks(tree: TraceTree) -> list[tuple[list[str], float]]:
+    """(stack-of-labels, self-seconds) per node, depth-first, spans with
+    zero self time skipped (they would render as invisible slivers)."""
+    out: list[tuple[list[str], float]] = []
+
+    def visit(node: SpanNode, prefix: list[str]) -> None:
+        stack = prefix + [node.label]
+        if node.self_s > 0:
+            out.append((stack, node.self_s))
+        for child in node.children:
+            visit(child, stack)
+
+    for root in tree.roots:
+        visit(root, [])
+    return out
+
+
+def folded_stacks(tree: TraceTree) -> str:
+    """Folded-stack lines (``a;b;c <usec>``), one per unique stack."""
+    merged: dict[tuple[str, ...], float] = {}
+    for stack, self_s in _walk_stacks(tree):
+        key = tuple(stack)
+        merged[key] = merged.get(key, 0.0) + self_s
+    lines = []
+    for stack, self_s in sorted(merged.items()):
+        usec = int(round(self_s * 1e6))
+        if usec > 0:
+            lines.append(f"{';'.join(stack)} {usec}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def speedscope_doc(tree: TraceTree, name: str = "hfast trace") -> dict[str, Any]:
+    """A speedscope ``sampled`` profile document for the trace tree."""
+    frame_index: dict[str, int] = {}
+    frames: list[dict[str, str]] = []
+
+    def frame_for(label: str) -> int:
+        if label not in frame_index:
+            frame_index[label] = len(frames)
+            frames.append({"name": label})
+        return frame_index[label]
+
+    samples: list[list[int]] = []
+    weights: list[float] = []
+    for stack, self_s in _walk_stacks(tree):
+        samples.append([frame_for(label) for label in stack])
+        weights.append(round(self_s, 9))
+    total = sum(weights)
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "sampled",
+                "name": name,
+                "unit": "seconds",
+                "startValue": 0,
+                "endValue": round(total, 9),
+                "samples": samples,
+                "weights": weights,
+            }
+        ],
+        "exporter": "hfast",
+        "name": name,
+    }

@@ -16,6 +16,8 @@ from collections import defaultdict
 from pathlib import Path
 from typing import Any
 
+from hfast.obs.analytics import TraceTree, attribution, critical_path, stage_rollup
+
 REPORT_VERSION = 1
 
 
@@ -69,6 +71,27 @@ def build_report(events: list[dict[str, Any]]) -> dict[str, Any]:
             "stages": stages,
             "cells": cells,
         },
+        # Wall-clock-derived by construction (like wall_s/pct), so excluded
+        # from the byte-identity determinism contract alongside them.
+        "time_breakdown": _time_breakdown(events),
+    }
+
+
+def _time_breakdown(events: list[dict[str, Any]]) -> dict[str, Any] | None:
+    """'Where the time went': critical path, self-time, scheduler share."""
+    tree = TraceTree(events, warn=lambda _msg: None)
+    if tree.empty:
+        return None
+    attr = attribution(tree)
+    return {
+        "critical_path": [
+            {"label": e["label"], "wall_s": e["wall_s"], "self_s": e["self_s"]}
+            for e in critical_path(tree)[:8]
+        ],
+        "top_self_stages": stage_rollup(tree)[:8],
+        "queue_wait_share": attr["queue_wait_share"] if attr else None,
+        "utilization": attr["utilization"] if attr else None,
+        "lanes": len(attr["lanes"]) if attr else None,
     }
 
 
@@ -202,6 +225,44 @@ def render_markdown(report: dict[str, Any]) -> str:
                 f"| {a.get('ratio', 0):.2f}x | {a.get('attempts', 1)} |"
             )
         lines.append("")
+
+    tb = report.get("time_breakdown")
+    if tb:
+        lines.append("## Where the time went")
+        lines.append("")
+        share = tb.get("queue_wait_share")
+        util = tb.get("utilization")
+        if share is not None or util is not None:
+            parts = []
+            if util is not None:
+                parts.append(f"worker utilization {100 * util:.0f}%")
+            if share is not None:
+                parts.append(f"queue-wait share {100 * share:.0f}%")
+            if tb.get("lanes"):
+                parts.append(f"{tb['lanes']} execution lane(s)")
+            lines.append("Scheduler attribution: " + ", ".join(parts) + ".")
+            lines.append("")
+        cp = tb.get("critical_path") or []
+        if cp:
+            lines.append("Critical path (heaviest span chain):")
+            lines.append("")
+            lines.append("| span | wall (s) | self (s) |")
+            lines.append("|---|---:|---:|")
+            for e in cp:
+                lines.append(f"| {e['label']} | {e['wall_s']:.4f} | {e['self_s']:.4f} |")
+            lines.append("")
+        top = tb.get("top_self_stages") or []
+        if top:
+            lines.append("Top stages by self time:")
+            lines.append("")
+            lines.append("| stage | calls | self (s) | % of run |")
+            lines.append("|---|---:|---:|---:|")
+            for st in top:
+                lines.append(
+                    f"| {st['stage']} | {st['calls']} | {st['self_s']:.4f} "
+                    f"| {st['pct_self']:.1f} |"
+                )
+            lines.append("")
 
     prof = report.get("profile", {})
     stages = prof.get("stages", [])

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import math
 import multiprocessing as mp
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
@@ -55,6 +56,7 @@ from hfast.records import SEND_CALLS, Trace
 from hfast.sched.cost import CostModel
 from hfast.sched.faults import inject_slow
 from hfast.sched.journal import RunJournal, build_fingerprint, journal_dir_for, new_run_id
+from hfast.sched.mitigate import MitigationPolicy
 from hfast.sched.scheduler import SchedulerConfig, run_stealing
 from hfast.timing import DEFAULT_TIMING_SEED, TimingModel
 from hfast.topology import analyze_topology
@@ -300,6 +302,7 @@ def _execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
     if forward is not None:
         forward.emit({"event": "cell_start"})
     t0 = time.perf_counter()
+    t_start = time.time()  # absolute stamp for post-hoc gantt/attribution
     ok, summary, error = True, None, None
     try:
         inject_slow(f"{payload['app']}_p{payload['nranks']}", payload.get("attempt", 1))
@@ -324,6 +327,9 @@ def _execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
         "error": error,
         "summary": summary,
         "wall_s": time.perf_counter() - t0,
+        "t_start": t_start,
+        "t_end": time.time(),
+        "pid": os.getpid(),
         "events": obs.events,
         "metrics": obs.metrics.to_dict() if obs.enabled else {},
         "cache": cache.stats.to_dict(),
@@ -427,6 +433,7 @@ def run_pipeline(
     bus: "stream.EventBus | None" = None,
     anomaly: AnomalyDetector | None = None,
     anomaly_threshold: float | None = None,
+    mitigate: bool = False,
 ) -> dict[str, Any]:
     """Run the analysis matrix; returns {manifest, results, anomalies}.
 
@@ -454,11 +461,20 @@ def run_pipeline(
     (``anomaly``, or a default calibrated from ``bench_dir`` and
     ``anomaly_threshold``); flagged cells are emitted as ``anomaly``
     trace events and returned under ``"anomalies"``.
+
+    ``mitigate=True`` (stealing backend only) closes the loop: in-flight
+    cells the detector flags as ``straggler_running`` are speculatively
+    re-dispatched and their app's queued siblings reprioritized. This
+    changes only scheduling order and wall time — results, cache, trace
+    invariants, and report content stay byte-identical to a
+    non-mitigated run.
     """
     if scheduler not in SCHEDULERS:
         raise ValueError(f"unknown scheduler '{scheduler}' (expected one of {SCHEDULERS})")
     if resume is not None and scheduler != "stealing":
         raise ValueError("resume requires scheduler='stealing'")
+    if mitigate and scheduler != "stealing":
+        raise ValueError("mitigate requires scheduler='stealing'")
     obs = obs if obs is not None else get_obs()
     cache = ReproCache(cache_dir, readonly=not store)
     apps = list(apps) if apps else available_apps()
@@ -505,6 +521,13 @@ def run_pipeline(
         kwargs = {"threshold": anomaly_threshold} if anomaly_threshold else {}
         detector = AnomalyDetector.from_bench_dir(bench_dir, **kwargs)
 
+    # The mitigation policy gets its own detector instance: it is warmed
+    # in completion order on the scheduler side, while ``detector`` above
+    # is warmed in deterministic cell order at merge time.
+    mitigator: MitigationPolicy | None = None
+    if mitigate:
+        mitigator = MitigationPolicy.from_bench_dir(bench_dir, threshold=anomaly_threshold)
+
     def payload_for(cell: Cell) -> dict[str, Any]:
         return {
             "app": cell.app,
@@ -536,6 +559,27 @@ def run_pipeline(
 
     def merge_one(res: dict[str, Any]) -> None:
         _graft_cell(obs, res, root_id)
+        if obs.enabled and res.get("t_start") is not None:
+            # Wall-clock execution window per cell, for post-hoc scheduler
+            # attribution (queue-wait/utilization/gantt). Wall-clock-derived
+            # by construction, hence outside the byte-identity contract —
+            # the analytics layer reads it, the report builder ignores it.
+            # No "cell" key here: the live-stream tests pin that buffered
+            # events are never cell-context-stamped; app+nranks identify it.
+            obs.tracer.emit_event(
+                "cell_timing",
+                {
+                    "app": res["app"],
+                    "nranks": res["nranks"],
+                    "index": res["index"],
+                    "worker": res.get("worker"),
+                    "pid": res.get("pid"),
+                    "attempts": res.get("attempts", 1),
+                    "ok": bool(res["ok"]),
+                    "t_start": res["t_start"],
+                    "t_end": res.get("t_end"),
+                },
+            )
         if obs.enabled:
             obs.metrics.merge_snapshot(res["metrics"])
         _merge_cache_stats(cache.stats, res["cache"])
@@ -607,6 +651,7 @@ def run_pipeline(
                 obs=obs,
                 journal=journal,
                 on_event=bus.publish if bus is not None else None,
+                mitigator=mitigator,
             )
             merge_raw(list(raw))
             sched_info.update(stats)

@@ -103,6 +103,45 @@ def test_check_running_flags_overdue_inflight_cell():
     assert det.observed_cells == 3  # advisory only: the fit is untouched
 
 
+def test_min_prior_zero_does_not_crash_on_first_observe():
+    # Regression: min_prior=0 made _median_ratio index an empty list.
+    det = AnomalyDetector(min_wall=0.0, min_prior=0)
+    assert det.expected("gtc", 8) is None  # a median still needs one sample
+    assert det.observe("gtc", 8, 1.0) == []
+    assert det.expected("gtc", 8) is not None
+
+
+def test_single_sample_median_fit():
+    det = AnomalyDetector(min_wall=0.0, min_prior=1)
+    det.observe("gtc", 8, estimate_cell_cost("gtc", 8) * 1e-3)
+    assert det.expected("gtc", 16) == pytest.approx(estimate_cell_cost("gtc", 16) * 1e-3)
+
+
+def test_zero_analytic_cost_is_unscoreable(monkeypatch):
+    # Regression: a zero cost estimate divided by zero in expected().
+    det = feed(AnomalyDetector(min_wall=0.0, min_prior=1))
+    before = det.observed_cells
+    monkeypatch.setattr("hfast.obs.anomaly.estimate_cell_cost", lambda app, n: 0.0)
+    assert det.expected("gtc", 8) is None
+    assert det.observe("gtc", 8, 100.0) == []  # neither scored...
+    assert det.observed_cells == before  # ...nor folded into the fit
+    assert det.check_running("gtc", 8, 100.0) is None
+
+
+def test_pathological_ratios_are_clamped(monkeypatch):
+    det = AnomalyDetector(min_wall=0.0, min_prior=1)
+    monkeypatch.setattr("hfast.obs.anomaly.estimate_cell_cost", lambda app, n: 1e-30)
+    det.observe("gtc", 8, 1.0)  # raw ratio would be 1e30
+    assert det._ratios == [1e9]
+    monkeypatch.setattr("hfast.obs.anomaly.estimate_cell_cost", lambda app, n: 1e30)
+    det.observe("gtc", 8, 1.0)  # raw ratio would be 1e-30
+    assert det._ratios == [1e-9, 1e9]
+    # The clamped fit still yields a finite, usable prediction.
+    monkeypatch.setattr("hfast.obs.anomaly.estimate_cell_cost", lambda app, n: 100.0)
+    exp = det.expected("gtc", 8)
+    assert exp is not None and 0 < exp < float("inf")
+
+
 def test_from_bench_dir_loads_newest_snapshot(tmp_path):
     for stamp, wall in (("old", 9.0), ("new", 1.25)):
         (tmp_path / f"BENCH_{stamp}.json").write_text(json.dumps({

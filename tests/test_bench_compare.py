@@ -108,3 +108,32 @@ def test_stage_present_on_one_side_is_reported_not_fatal(tmp_path, capsys):
     assert bench_compare.main([str(base), str(cand)]) == 0
     out = capsys.readouterr().out
     assert "only-in-baseline" in out and "only-in-candidate" in out
+
+
+def test_record_writes_delta_table_without_changing_verdict(tmp_path):
+    base = write_bench(tmp_path / "BENCH_a.json", {"pipeline": 1.0, "matrix_reduce": 0.4})
+    cand = write_bench(tmp_path / "BENCH_b.json", {"pipeline": 2.0, "matrix_reduce": 0.4})
+    for doc_path, total in ((base, 1.0), (cand, 2.0)):
+        doc = json.loads(doc_path.read_text())
+        doc["profile"]["total_wall_s"] = total
+        doc_path.write_text(json.dumps(doc))
+    record = tmp_path / "deltas" / "record.json"
+    # The regression still fails the run; the record is written regardless.
+    assert bench_compare.main([str(base), str(cand), "--record", str(record)]) == 1
+    doc = json.loads(record.read_text())
+    assert doc["passed"] is False
+    assert doc["total_wall_delta_pct"] == 100.0
+    stages = {r["stage"]: r for r in doc["stages"]}
+    assert stages["pipeline"]["verdict"] == "REGRESSED"
+    assert stages["matrix_reduce"]["verdict"] == "ok"
+    assert doc["failures"]
+
+
+def test_record_written_on_skip_paths(tmp_path, capsys):
+    record = tmp_path / "record.json"
+    assert bench_compare.main(["--dir", str(tmp_path), "--record", str(record)]) == 0
+    assert json.loads(record.read_text())["skipped"]
+    base = write_bench(tmp_path / "BENCH_a.json", {"pipeline": 1.0}, workers=1)
+    cand = write_bench(tmp_path / "BENCH_b.json", {"pipeline": 1.0}, workers=4)
+    assert bench_compare.main([str(base), str(cand), "--record", str(record)]) == 0
+    assert "worker mismatch" in json.loads(record.read_text())["skipped"]

@@ -1,0 +1,73 @@
+"""Flamegraph exports: folded stacks and speedscope JSON.
+
+Both formats derive from per-span self time, so the summed weights must
+partition the run wall exactly — the invariant that makes the rendered
+widths meaningful.
+"""
+
+import pytest
+
+from hfast.obs.analytics import TraceTree
+from hfast.obs.flame import folded_stacks, speedscope_doc
+from test_trace_analytics import make_events, span
+
+
+def test_folded_stacks_format_and_weights():
+    text = folded_stacks(TraceTree(make_events()))
+    assert text.endswith("\n")
+    lines = text.strip().splitlines()
+    weights = {}
+    for line in lines:
+        stack, usec = line.rsplit(" ", 1)
+        weights[stack] = int(usec)
+    assert weights["pipeline"] == 100_000  # 1.0 − (0.6 + 0.3)
+    assert weights["pipeline;cell[gtc_p8];analyze_app[gtc_p8];synthesize"] == 400_000
+    # Self-microsecond weights partition the root wall exactly.
+    assert sum(weights.values()) == pytest.approx(1_000_000, abs=len(lines))
+
+
+def test_folded_stacks_skip_zero_self_spans():
+    # A span whose children cover its whole wall has zero self time and
+    # must not produce an (invisible) line of its own.
+    events = [
+        span(1, "pipeline", None, 0, 1.0),
+        span(2, "wrapper", 1, 1, 1.0),
+        span(3, "work", 2, 2, 1.0),
+    ]
+    text = folded_stacks(TraceTree(events))
+    assert text == "pipeline;wrapper;work 1000000\n"
+
+
+def test_folded_stacks_merge_identical_stacks():
+    events = [
+        span(1, "pipeline", None, 0, 1.0),
+        span(2, "step", 1, 1, 0.3),
+        span(3, "step", 1, 1, 0.2),
+    ]
+    text = folded_stacks(TraceTree(events))
+    assert "pipeline;step 500000" in text
+
+
+def test_speedscope_doc_shape():
+    doc = speedscope_doc(TraceTree(make_events()), name="unit")
+    assert doc["name"] == "unit"
+    (profile,) = doc["profiles"]
+    assert profile["type"] == "sampled" and profile["unit"] == "seconds"
+    frames = doc["shared"]["frames"]
+    assert len(profile["samples"]) == len(profile["weights"]) > 0
+    for sample in profile["samples"]:
+        assert all(0 <= idx < len(frames) for idx in sample)
+    assert profile["endValue"] == pytest.approx(sum(profile["weights"]))
+    assert sum(profile["weights"]) == pytest.approx(1.0)
+    # Frames are deduplicated by label.
+    names = [f["name"] for f in frames]
+    assert len(names) == len(set(names))
+    assert "cell[gtc_p8]" in names
+
+
+def test_empty_tree_exports_cleanly():
+    tree = TraceTree([])
+    assert folded_stacks(tree) == ""
+    doc = speedscope_doc(tree)
+    assert doc["profiles"][0]["samples"] == []
+    assert doc["profiles"][0]["endValue"] == 0

@@ -26,7 +26,7 @@ SCALES = {app: [8] for app in APPS}
 
 # Event kinds that are wall-clock-derived by construction and therefore
 # excluded (like wall_s itself) from the byte-identity contract.
-CLOCK_EVENTS = {"sched_task", "sched_worker", "anomaly"}
+CLOCK_EVENTS = {"sched_task", "sched_worker", "anomaly", "cell_timing"}
 
 # Per-span attempt tags are scheduler bookkeeping, like the cell-level
 # "attempts" count the fault-injection tests already scrub.

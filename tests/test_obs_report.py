@@ -141,5 +141,21 @@ def test_empty_event_stream():
     assert report["manifest"] is None
     assert report["runs"] == []
     assert report["profile"]["total_wall_s"] == 0
+    assert report["time_breakdown"] is None
     # renders without crashing
     assert "# hfast run report" in render_markdown(report)
+
+
+def test_time_breakdown_section():
+    report = build_report(FIXTURE_EVENTS)
+    tb = report["time_breakdown"]
+    assert tb is not None
+    assert [e["label"] for e in tb["critical_path"]][:2] == ["pipeline", "matrix_reduce"]
+    stages = {s["stage"]: s for s in tb["top_self_stages"]}
+    # pipeline self = 1.0 − (0.25 + 0.5); children carry their own wall.
+    assert stages["pipeline"]["self_s"] == 0.25
+    assert stages["matrix_reduce"]["self_s"] == 0.5
+    md = render_markdown(report)
+    assert "## Where the time went" in md
+    assert md.index("## Where the time went") < md.index("## Stage profile")
+    assert "| matrix_reduce | 0.5000 | 0.5000 |" in md

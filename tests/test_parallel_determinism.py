@@ -18,7 +18,12 @@ from hfast.pipeline import Cell, build_cells, run_pipeline, shard_cells
 APPS = ["cactus", "gtc", "lbmhd", "paratec"]
 SCALES = {app: [8, 16] for app in APPS}
 
-TIMING_FIELDS = {"wall_s", "pct", "total_wall_s", "peak_rss_kb", "timestamp", "argv", "workers"}
+TIMING_FIELDS = {
+    "wall_s", "pct", "total_wall_s", "peak_rss_kb", "timestamp", "argv", "workers",
+    # PR 6: absolute cell execution stamps and the wall-derived report
+    # section built from them are timing artifacts like wall_s itself.
+    "t_start", "t_end", "pid", "time_breakdown",
+}
 
 
 def run_matrix(cache_dir: Path, workers: int, shard=None) -> dict:
