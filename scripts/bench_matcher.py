@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""Benchmark the matcher backends at ultra-scale and emit BENCH docs.
+
+Runs a multi-timestep re-matching workload — the temporal evaluator's
+access pattern — over the paper apps' sparse link structures at 32K
+ranks (paratec's all-to-all is capped; see ``--paratec-cap``) for each
+backend, and writes one ``BENCH_matcher_<backend>.json`` per backend
+into ``--out`` (default ``benchmarks/``; never the repo root, which
+would poison the pipeline's cost-model calibration and the tier-1 perf
+guard's newest-snapshot glob).
+
+The docs share stage names across backends, so the standard comparer
+turns any pair into a speedup table::
+
+    python scripts/bench_matcher.py --out benchmarks
+    python scripts/bench_compare.py \
+        benchmarks/BENCH_matcher_scalar.json \
+        benchmarks/BENCH_matcher_incremental.json \
+        --max-regress 100000 --record benchmarks/matcher_speedup.json
+
+Per app the workload is ``--steps`` weight vectors: a hashed base, a ~1%
+sparse delta, an unchanged repeat, then an order-preserving rescale —
+chosen so the incremental backend's cache tiers (unchanged hit, order
+reuse, full resort) all get exercised. Every backend is asserted to
+produce identical circuits on every step before any timing is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from hfast.apps import _LBMHD_OFFSETS, _factor2, _factor3, _ghost_pairs_vec
+from hfast.matcher import MATCHERS, IncrementalMatcher, match_edges
+
+DEFAULT_NRANKS = 32768
+DEFAULT_STEPS = 4
+DEFAULT_PARATEC_CAP = 768
+DEFAULT_BUDGET = 2
+
+
+def _dedup(src: np.ndarray, dst: np.ndarray, n: int):
+    keep = src != dst
+    src, dst = src[keep].astype(np.int64), dst[keep].astype(np.int64)
+    _, uniq = np.unique(src * np.int64(n) + dst, return_index=True)
+    uniq = np.sort(uniq)
+    return src[uniq], dst[uniq]
+
+
+def topology(app: str, nranks: int, paratec_cap: int):
+    """(src, dst, effective_nranks) link structure for one paper app."""
+    if app == "cactus":
+        ranks, peers = _ghost_pairs_vec(nranks, _factor3(nranks))
+        return (*_dedup(ranks, peers, nranks), nranks)
+    if app == "gtc":
+        r = np.arange(nranks, dtype=np.int64)
+        src = np.concatenate([r, r])
+        dst = np.concatenate([(r + 1) % nranks, (r - 1) % nranks])
+        return (*_dedup(src, dst, nranks), nranks)
+    if app == "lbmhd":
+        px, py = _factor2(nranks)
+        r = np.arange(nranks, dtype=np.int64)
+        ix, iy = r // py, r % py
+        peers = ((ix[:, None] + _LBMHD_OFFSETS[:, 0]) % px) * py + (
+            (iy[:, None] + _LBMHD_OFFSETS[:, 1]) % py
+        )
+        src = np.broadcast_to(r[:, None], peers.shape).ravel()
+        return (*_dedup(src, peers.ravel(), nranks), nranks)
+    if app == "paratec":
+        # Dense all-to-all: O(n^2) edges, so the FFT-transpose pattern is
+        # benchmarked at a capped rank count (the cap is recorded in the
+        # BENCH doc and printed — never silently).
+        n = min(nranks, paratec_cap)
+        r = np.arange(n, dtype=np.int64)
+        src = np.repeat(r, n)
+        dst = np.tile(r, n)
+        return (*_dedup(src, dst, n), n)
+    raise ValueError(f"unknown app {app!r}")
+
+
+def hashed_weights(src: np.ndarray, dst: np.ndarray, n: int, salt: int) -> np.ndarray:
+    """splitmix-style deterministic positive weights from the pair key."""
+    key = (src * np.int64(n) + dst).astype(np.uint64)
+    key += np.uint64((salt * 0x9E3779B97F4A7C15) % (1 << 64))
+    key ^= key >> np.uint64(33)
+    key *= np.uint64(0xFF51AFD7ED558CCD)
+    key ^= key >> np.uint64(33)
+    return (key % np.uint64(1 << 20)).astype(np.float64) + 1.0
+
+
+def step_weights(src: np.ndarray, dst: np.ndarray, n: int, steps: int) -> list[np.ndarray]:
+    """The per-step weight vectors: base, ~1% delta, unchanged, rescale, ..."""
+    base = hashed_weights(src, dst, n, salt=1)
+    out = [base]
+    rng = np.random.default_rng(29)
+    current = base
+    for step in range(1, steps):
+        kind = (step - 1) % 3
+        if kind == 0:  # sparse delta on ~1% of edges
+            w = current.copy()
+            touch = rng.choice(len(w), size=max(1, len(w) // 100), replace=False)
+            w[touch] = hashed_weights(src[touch], dst[touch], n, salt=step + 1)
+        elif kind == 1:  # unchanged step: the incremental cache hit
+            w = current.copy()
+        else:  # order-preserving rescale: sort reuse without a cache hit
+            w = current * 2.0
+        out.append(w)
+        current = w
+    return out
+
+
+def run_backend(
+    backend: str,
+    universes: dict[str, tuple[np.ndarray, np.ndarray, int, list[np.ndarray]]],
+    budget: int,
+) -> tuple[list[dict], dict[str, list]]:
+    """Time the step sequence per app; return (stages, per-step circuits)."""
+    stages: list[dict] = []
+    outputs: dict[str, list] = {}
+    for app, (src, dst, n, weight_steps) in universes.items():
+        inc = (
+            IncrementalMatcher(src, dst, n, bound=budget)
+            if backend == "incremental"
+            else None
+        )
+        results = []
+        start = time.perf_counter()
+        for w in weight_steps:
+            if inc is not None:
+                # The matcher stores edges (src, dst)-ascending; feed the
+                # weights in that same order.
+                results.append(inc.rematch(w[inc.input_order]))
+            else:
+                results.append(match_edges(src, dst, w, n, bound=budget, backend=backend))
+        wall = time.perf_counter() - start
+        stages.append(
+            {
+                "stage": f"match_{app}",
+                "wall_s": round(wall, 6),
+                "calls": len(weight_steps),
+                "edges": int(len(src)),
+                "nranks": n,
+            }
+        )
+        outputs[app] = results
+    return stages, outputs
+
+
+def git_sha() -> str | None:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=Path(__file__).parent,
+            ).stdout.strip()
+            or None
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark matcher backends over ultra-scale app topologies"
+    )
+    parser.add_argument("--nranks", type=int, default=DEFAULT_NRANKS)
+    parser.add_argument("--steps", type=int, default=DEFAULT_STEPS,
+                        help="timesteps in the re-matching workload")
+    parser.add_argument("--budget", type=int, default=DEFAULT_BUDGET,
+                        help="circuits per node (degree bound)")
+    parser.add_argument("--paratec-cap", type=int, default=DEFAULT_PARATEC_CAP,
+                        help="rank cap for paratec's O(n^2) all-to-all")
+    parser.add_argument("--apps", default="cactus,gtc,lbmhd,paratec")
+    parser.add_argument("--backends", default=",".join(MATCHERS))
+    parser.add_argument("--out", type=Path, default=Path("benchmarks"),
+                        help="directory for BENCH_matcher_<backend>.json")
+    args = parser.parse_args(argv)
+
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    for b in backends:
+        if b not in MATCHERS:
+            parser.error(f"unknown backend {b!r} (expected one of {MATCHERS})")
+
+    universes = {}
+    for app in apps:
+        src, dst, n = topology(app, args.nranks, args.paratec_cap)
+        if app == "paratec" and n < args.nranks:
+            print(f"bench_matcher: paratec capped at {n} ranks "
+                  f"({len(src)} edges; all-to-all is O(n^2))")
+        universes[app] = (src, dst, n, step_weights(src, dst, n, args.steps))
+        print(f"bench_matcher: {app}: nranks={n} edges={len(src)} steps={args.steps}")
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    sha = git_sha()
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+    reference: dict[str, list] | None = None
+    ref_backend = ""
+    for backend in backends:
+        stages, outputs = run_backend(backend, universes, args.budget)
+        if reference is None:
+            reference, ref_backend = outputs, backend
+        else:
+            for app, results in outputs.items():
+                assert results == reference[app], (
+                    f"{backend} diverged from {ref_backend} on {app}"
+                )
+        total = sum(st["wall_s"] for st in stages)
+        doc = {
+            "git_sha": sha,
+            "timestamp": stamp,
+            "workers": 1,
+            "backend": backend,
+            "workload": {
+                "nranks": args.nranks,
+                "steps": args.steps,
+                "budget": args.budget,
+                "paratec_cap": args.paratec_cap,
+                "apps": apps,
+            },
+            "profile": {
+                "total_wall_s": round(total, 6),
+                "stages": stages,
+                "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+            },
+        }
+        path = args.out / f"BENCH_matcher_{backend}.json"
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        print(f"bench_matcher: {backend}: total {total:.2f}s -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,14 @@ synthesizer refactor that changes any of them fails
 
 Only rerun this when a change to the synthesizers is *intended* to change
 the communication structure; commit the diff together with the change.
+
+The fixtures pin synthesizer output (matrices, totals, topology), not
+matcher internals — the interconnect evaluations derived from them are
+pinned separately by the differential suite. The columnar matcher
+rewrite (scalar/vector/incremental backends) therefore required no
+regeneration: every backend reproduces the previous circuit assignments
+byte-for-byte on all of these fixtures, which
+``tests/test_matcher_differential.py`` asserts on every run.
 """
 
 from __future__ import annotations

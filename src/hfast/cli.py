@@ -5,6 +5,7 @@ Subcommands::
     python -m hfast analyze [--apps a,b] [--scales 16,64] [--profile]
                             [--workers N] [--shard i/m] [--strict]
                             [--timing-seed N] [--timesteps N] [--reconfig-cost S]
+                            [--matcher {scalar,vector,incremental}]
                             [--trace-out T.jsonl] [--metrics-out M.json]
                             [--report-dir DIR] [--bench-dir DIR] ...
     python -m hfast report  --trace T.jsonl [--report-dir DIR] [--bench-dir DIR]
@@ -63,6 +64,7 @@ import sys
 from hfast.apps import APPS, BACKENDS, DEFAULT_BACKEND, available_apps
 from hfast.cache import DEFAULT_CACHE_DIR, CacheValidationError, ReproCache
 from hfast.interconnect import InterconnectConfig
+from hfast.matcher import DEFAULT_MATCHER, MATCHERS
 from hfast.obs import analytics
 from hfast.obs.anomaly import AnomalyDetector
 from hfast.obs.flame import folded_stacks, speedscope_doc
@@ -131,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument(
         "--reconfig-cost", type=float, default=1e-3,
         help="seconds charged per circuit reconfiguration in the temporal evaluator",
+    )
+    p_an.add_argument(
+        "--matcher", choices=MATCHERS, default=DEFAULT_MATCHER,
+        help="circuit-matching backend: pure-Python reference (scalar), "
+             "vectorized edge arrays (vector), or step-delta re-matching in "
+             "the temporal evaluator (incremental); all byte-identical",
     )
     p_an.add_argument(
         "--workers", type=int, default=1,
@@ -274,6 +282,7 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
         circuits_per_node=args.circuits,
         timesteps=args.timesteps,
         reconfig_cost=args.reconfig_cost,
+        matcher=args.matcher,
     )
     scheduler = "stealing" if (args.resume or args.mitigate) else args.scheduler
 

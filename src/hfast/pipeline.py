@@ -46,6 +46,7 @@ import numpy as np
 from hfast.apps import DEFAULT_BACKEND, available_apps, synthesize
 from hfast.cache import DEFAULT_CACHE_DIR, CacheStats, ReproCache
 from hfast.interconnect import InterconnectConfig, evaluate_hybrid, evaluate_temporal
+from hfast.matcher import DEFAULT_MATCHER
 from hfast.matrix import reduce_matrix
 from hfast.obs import stream
 from hfast.obs.anomaly import AnomalyDetector
@@ -507,14 +508,16 @@ def run_pipeline(
         # so live mode cannot perturb the deterministic artifacts.
         run_id = new_run_id()
 
+    matcher = config.matcher if config is not None else DEFAULT_MATCHER
     manifest = build_manifest(
-        apps, scales, argv=argv, workers=workers, shard=shard, scheduler=sched_info
+        apps, scales, argv=argv, workers=workers, shard=shard, scheduler=sched_info,
+        matcher=matcher,
     )
     obs.tracer.emit_event("manifest", manifest)
 
     cost_model: CostModel | None = None
     if scheduler == "stealing" or bus is not None:
-        cost_model = CostModel.from_bench_dir(bench_dir)
+        cost_model = CostModel.from_bench_dir(bench_dir, matcher=matcher)
 
     detector = anomaly
     if detector is None and (obs.enabled or bus is not None):

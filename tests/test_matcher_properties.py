@@ -1,0 +1,309 @@
+"""Property tests for the edge-columnar matcher backends.
+
+Seeded sweeps (plus hypothesis sweeps when the library is installed)
+asserting the invariants every backend must satisfy on arbitrary
+matrices: degree bounds, self-loop/zero-weight exclusion, matched weight
+never below the greedy seed, scalar/vector seed equality, and
+incremental == from-scratch over random edge-delta sequences.
+"""
+
+import numpy as np
+import pytest
+
+from hfast.interconnect import InterconnectConfig, evaluate_temporal, slice_traffic
+from hfast.matcher import (
+    MATCHERS,
+    IncrementalMatcher,
+    canonical_edges,
+    greedy_circuits,
+    greedy_seed_scalar,
+    greedy_seed_vector,
+    match_edges,
+)
+from hfast.matrix import CommMatrix
+
+
+def random_weights(rng, n, density=0.5, max_w=50, with_diag=True):
+    w = rng.integers(0, max_w, size=(n, n)).astype(np.int64)
+    w *= rng.random((n, n)) < density
+    if with_diag:
+        # Keep self-loop traffic in the matrix: the matcher must ignore
+        # it, the evaluators must still account for it.
+        np.fill_diagonal(w, rng.integers(0, max_w, size=n))
+    else:
+        np.fill_diagonal(w, 0)
+    return w
+
+
+def check_degrees(circuits, n, bound):
+    egress = [0] * n
+    ingress = [0] * n
+    for s, d in circuits:
+        assert s != d, "self-loop selected as a circuit"
+        egress[s] += 1
+        ingress[d] += 1
+    assert max(egress, default=0) <= bound
+    assert max(ingress, default=0) <= bound
+    assert len(set(circuits)) == len(circuits)
+
+
+def matched_weight(w, circuits):
+    return sum(int(w[s, d]) for s, d in circuits)
+
+
+@pytest.mark.parametrize("backend", MATCHERS)
+def test_degree_bounds_random_sweep(backend):
+    rng = np.random.default_rng(11)
+    for _ in range(40):
+        n = int(rng.integers(2, 20))
+        bound = int(rng.integers(0, 5))
+        w = random_weights(rng, n, density=float(rng.uniform(0.1, 1.0)))
+        src, dst, wc = canonical_edges(w)
+        circuits = match_edges(src, dst, wc, n, bound, backend=backend, presorted=True)
+        check_degrees(circuits, n, bound)
+        if bound == 0:
+            assert circuits == []
+
+
+def test_seed_scalar_vector_equal_random_sweep():
+    rng = np.random.default_rng(13)
+    for _ in range(60):
+        n = int(rng.integers(2, 24))
+        bound = int(rng.integers(1, 5))
+        # Small weight range forces heavy ties — the regime where seed
+        # order equivalence is actually at risk.
+        w = random_weights(rng, n, density=float(rng.uniform(0.1, 1.0)), max_w=6)
+        src, dst, wc = canonical_edges(w)
+        assert greedy_seed_scalar(src, dst, wc, n, bound) == greedy_seed_vector(
+            src, dst, wc, n, bound
+        )
+
+
+def test_matched_weight_never_below_greedy():
+    rng = np.random.default_rng(17)
+    for _ in range(40):
+        n = int(rng.integers(2, 20))
+        bound = int(rng.integers(1, 4))
+        w = random_weights(rng, n, density=float(rng.uniform(0.2, 1.0)))
+        greedy = greedy_circuits(w, n, bound)
+        for backend in MATCHERS:
+            circuits = match_edges(*canonical_edges(w), n, bound, backend=backend, presorted=True)
+            assert matched_weight(w, circuits) >= matched_weight(w, greedy)
+
+
+def test_zero_weight_edges_never_matched():
+    n = 6
+    w = np.zeros((n, n), dtype=np.int64)
+    w[0, 1] = 0  # explicit zero-weight edge
+    w[1, 2] = 7
+    w[2, 2] = 99  # heavy self-loop
+    for backend in MATCHERS:
+        circuits = match_edges(*canonical_edges(w), n, 4, backend=backend, presorted=True)
+        assert circuits == [(1, 2)]
+
+
+def test_uniform_all_to_all_saturates_every_endpoint():
+    """Stripe tie order is a Latin-square round-robin: uniform all-to-all
+    traffic saturates every node to exactly its budget, even at the
+    greedy seed."""
+    for n in (4, 8, 12):
+        w = np.full((n, n), 5, dtype=np.int64)
+        np.fill_diagonal(w, 0)
+        for bound in (1, 2, 3):
+            greedy = greedy_circuits(w, n, bound)
+            assert len(greedy) == n * min(bound, n - 1)
+            for backend in MATCHERS:
+                circuits = match_edges(
+                    *canonical_edges(w), n, bound, backend=backend, presorted=True
+                )
+                assert len(circuits) == n * min(bound, n - 1)
+                check_degrees(circuits, n, bound)
+
+
+def test_symmetric_matrix_keeps_per_direction_budgets_independent():
+    """Circuits are unidirectional: on a symmetric matrix both directions
+    of a heavy pair can be provisioned without eating into each other's
+    budget, and the selected set is closed under transposition when the
+    traffic is."""
+    rng = np.random.default_rng(19)
+    for _ in range(20):
+        n = int(rng.integers(3, 16))
+        half = random_weights(rng, n, density=0.6, with_diag=False)
+        w = half + half.T  # symmetric, zero diagonal
+        for bound in (1, 2):
+            circuits = match_edges(*canonical_edges(w), n, bound, presorted=True)
+            check_degrees(circuits, n, bound)
+            cset = set(circuits)
+            # With enough budget for both directions of every selected
+            # pair, symmetry of traffic must give symmetric coverage in
+            # matched weight: forward and reverse totals are equal.
+            fwd = sum(int(w[s, d]) for s, d in cset)
+            rev = sum(int(w[d, s]) for s, d in cset)
+            assert fwd == rev  # w symmetric: per-edge weights equal
+
+
+def test_incremental_equals_from_scratch_over_delta_sequences():
+    rng = np.random.default_rng(23)
+    for trial in range(25):
+        n = int(rng.integers(2, 16))
+        bound = int(rng.integers(1, 4))
+        src, dst = np.nonzero(np.ones((n, n)))
+        keep = src != dst
+        inc = IncrementalMatcher(src[keep], dst[keep], n, bound)
+        w = random_weights(rng, n, density=0.6, with_diag=False).astype(np.float64)
+        for _ in range(10):
+            got = inc.rematch_dense(w)
+            want = match_edges(*canonical_edges(w), n, bound, presorted=True)
+            assert got == want
+            # Arbitrary delta: zero edges, single edge, or a burst; also
+            # sometimes no change at all (the cached-result fast path).
+            for _ in range(int(rng.integers(0, 6))):
+                i, j = int(rng.integers(0, n)), int(rng.integers(0, n))
+                w[i, j] = float(rng.integers(0, 50))
+        assert inc.stats["steps"] == 10
+        assert (
+            inc.stats["unchanged_hits"]
+            + inc.stats["order_reuses"]
+            + inc.stats["full_resorts"]
+        ) == 10
+
+
+def test_incremental_unchanged_step_hits_cache():
+    n, bound = 8, 2
+    rng = np.random.default_rng(29)
+    w = random_weights(rng, n, density=0.7, with_diag=False).astype(np.float64)
+    inc = IncrementalMatcher.from_dense(np.ones((n, n)) - np.eye(n), bound)
+    first = inc.rematch_dense(w)
+    second = inc.rematch_dense(w)
+    assert first == second
+    assert inc.stats["unchanged_hits"] == 1
+    # The cached list must be a copy: mutating it cannot poison the cache.
+    second.append((0, 0))
+    assert inc.rematch_dense(w) == first
+
+
+def test_incremental_order_preserving_delta_skips_resort():
+    """Scaling every weight uniformly preserves the canonical order, so
+    the incremental matcher reuses the cached sort instead of re-sorting."""
+    n, bound = 10, 2
+    rng = np.random.default_rng(31)
+    w = (rng.integers(1, 100, size=(n, n)) * (1 - np.eye(n, dtype=np.int64))).astype(
+        np.float64
+    )
+    inc = IncrementalMatcher.from_dense(np.ones((n, n)) - np.eye(n), bound)
+    inc.rematch_dense(w)
+    inc.rematch_dense(w * 2.0)
+    assert inc.stats["order_reuses"] == 1
+    assert inc.rematch_dense(w * 2.0) == match_edges(
+        *canonical_edges(w * 2.0), n, bound, presorted=True
+    )
+
+
+def test_incremental_rejects_wrong_shape():
+    inc = IncrementalMatcher(np.array([0, 1]), np.array([1, 0]), 2, 1)
+    with pytest.raises(ValueError):
+        inc.rematch(np.ones(3))
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(ValueError):
+        match_edges(np.array([0]), np.array([1]), np.array([1.0]), 2, 1, backend="nope")
+
+
+def test_slice_traffic_conserves_message_only_links():
+    """A link with messages but zero bytes still owes packet latency:
+    slicing must conserve its message volume, not silently drop it."""
+    n = 6
+    bytes_m = np.zeros((n, n), dtype=np.int64)
+    msg_m = np.zeros((n, n), dtype=np.int64)
+    bytes_m[0, 1], msg_m[0, 1] = 1000, 3
+    msg_m[2, 3] = 7  # message-only link
+    cm = CommMatrix(nranks=n, bytes_matrix=bytes_m, msg_matrix=msg_m)
+    for T in (2, 4, 5):
+        slices = slice_traffic(cm, T, seed=0)
+        assert np.array_equal(sum(b for b, _ in slices), bytes_m)
+        assert np.array_equal(sum(m for _, m in slices), msg_m)
+
+
+def test_temporal_empty_step_keeps_configuration_standing():
+    """A slice with no traffic must not tear down the standing circuits:
+    traffic resuming after a gap is not charged for circuits it already
+    held, and the first configuring step is free wherever it lands."""
+    n = 4
+    bytes_m = np.zeros((n, n), dtype=np.int64)
+    msg_m = np.zeros((n, n), dtype=np.int64)
+    # One link whose hashed window at T=6 is narrower than the horizon,
+    # guaranteeing at least one empty step between active ones.
+    bytes_m[0, 1], msg_m[0, 1] = 6000, 6
+    cm = CommMatrix(nranks=n, bytes_matrix=bytes_m, msg_matrix=msg_m)
+    config = InterconnectConfig(timesteps=6, reconfig_cost=1e-3, circuits_per_node=1)
+    ev = evaluate_temporal(cm, config)
+    active = [s for s in ev.per_step if s["n_circuits"]]
+    empty = [s for s in ev.per_step if not s["n_circuits"]]
+    assert active and empty, "fixture must produce both active and idle steps"
+    # The only circuit ever needed is (0, 1); once established it is never
+    # re-established, so no reconfiguration is ever charged.
+    assert ev.n_reconfigs == 0
+    assert all(s["changes"] == 0 for s in ev.per_step)
+
+
+def test_temporal_matcher_backends_share_stats_field():
+    rng = np.random.default_rng(37)
+    w = random_weights(rng, 8, density=0.5, with_diag=False)
+    cm = CommMatrix(nranks=8, bytes_matrix=w, msg_matrix=(w > 0).astype(np.int64))
+    for backend in MATCHERS:
+        ev = evaluate_temporal(cm, InterconnectConfig(timesteps=4, matcher=backend))
+        if backend == "incremental":
+            assert ev.matcher_stats is not None
+            assert ev.matcher_stats["steps"] == 4
+        else:
+            assert ev.matcher_stats is None
+
+
+# -- hypothesis sweeps (skipped when the library is unavailable) --------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    bound=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    max_w=st.integers(min_value=1, max_value=8),
+)
+def test_hypothesis_backend_identity_and_degrees(n, bound, seed, max_w):
+    rng = np.random.default_rng(seed)
+    w = random_weights(rng, n, density=float(rng.uniform(0.05, 1.0)), max_w=max_w)
+    src, dst, wc = canonical_edges(w)
+    outs = [
+        match_edges(src, dst, wc, n, bound, backend=b, presorted=True) for b in MATCHERS
+    ]
+    assert outs[0] == outs[1] == outs[2]
+    check_degrees(outs[0], n, bound)
+    greedy = greedy_circuits(w, n, bound)
+    assert matched_weight(w, outs[0]) >= matched_weight(w, greedy)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    bound=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    steps=st.integers(min_value=2, max_value=6),
+)
+def test_hypothesis_incremental_matches_scratch(n, bound, seed, steps):
+    rng = np.random.default_rng(seed)
+    src, dst = np.nonzero(np.ones((n, n)))
+    keep = src != dst
+    inc = IncrementalMatcher(src[keep], dst[keep], n, bound)
+    w = random_weights(rng, n, density=0.5, with_diag=False).astype(np.float64)
+    for _ in range(steps):
+        assert inc.rematch_dense(w) == match_edges(
+            *canonical_edges(w), n, bound, presorted=True
+        )
+        for _ in range(int(rng.integers(0, 4))):
+            w[int(rng.integers(0, n)), int(rng.integers(0, n))] = float(
+                rng.integers(0, 20)
+            )
