@@ -14,7 +14,10 @@ is not an error: the guard prints a "no baseline" note and passes, so
 the first run of a fresh checkout doesn't fail CI. That applies to the
 explicit form too — empty-string path arguments (what an empty ``$(ls
 ...)`` substitution produces) are dropped, and a single surviving path
-is treated as a candidate with no baseline yet.
+is treated as a candidate with no baseline yet. Unusable snapshots —
+missing files, empty or truncated JSON, documents without a
+``profile`` section — are skipped with exit 0 the same way: the perf
+trajectory is advisory and a damaged artifact dir must not fail CI.
 
 A stage regresses when its wall time grows by more than ``--max-regress``
 percent over baseline. Stages whose baseline wall time is below
@@ -32,11 +35,32 @@ import sys
 from pathlib import Path
 
 
-def load_bench(path: Path) -> dict:
-    doc = json.loads(path.read_text(encoding="utf-8"))
-    if "profile" not in doc:
-        raise SystemExit(f"{path}: not a BENCH document (no 'profile' key)")
+def load_bench(path: Path) -> dict | None:
+    """Load one snapshot; ``None`` (with a printed note) when unusable.
+
+    A missing file, an empty or truncated file, or a JSON document that
+    is not a BENCH snapshot must all degrade to "nothing to guard" — the
+    perf trajectory is advisory, and a damaged artifact directory must
+    never fail CI on its own.
+    """
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"bench_compare: cannot read {path}: {exc}")
+        return None
+    if not isinstance(doc, dict) or "profile" not in doc:
+        print(f"bench_compare: {path}: not a BENCH document (no 'profile' key)")
+        return None
     return doc
+
+
+def is_bench(path: Path) -> bool:
+    """Silent usability probe for directory scans."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return False
+    return isinstance(doc, dict) and "profile" in doc
 
 
 def bench_sort_key(path: Path) -> tuple:
@@ -45,13 +69,20 @@ def bench_sort_key(path: Path) -> tuple:
         stamp = json.loads(path.read_text(encoding="utf-8")).get("timestamp")
     except (OSError, ValueError):
         stamp = None
+    try:
+        mtime = path.stat().st_mtime
+    except OSError:
+        mtime = 0.0
     # ISO-8601 timestamps sort lexicographically; None sorts first so
     # undated files lose to dated ones, then mtime breaks ties.
-    return (stamp is not None, stamp or "", path.stat().st_mtime)
+    return (stamp is not None, stamp or "", mtime)
 
 
 def pick_newest_two(bench_dir: Path) -> list[Path] | None:
-    found = sorted(bench_dir.glob("BENCH_*.json"), key=bench_sort_key)
+    found = sorted(
+        (p for p in bench_dir.glob("BENCH_*.json") if is_bench(p)),
+        key=bench_sort_key,
+    )
     if len(found) < 2:
         return None
     return found[-2:]
@@ -151,6 +182,11 @@ def main(argv: list[str] | None = None) -> int:
         base_path, cand_path = pair
 
     base, cand = load_bench(base_path), load_bench(cand_path)
+    if base is None or cand is None:
+        print("bench_compare: unusable snapshot(s); nothing to guard")
+        if args.record:
+            write_record(args.record, {"skipped": "unusable snapshot"})
+        return 0
     print(f"baseline:  {base_path} (sha {str(base.get('git_sha'))[:12]})")
     print(f"candidate: {cand_path} (sha {str(cand.get('git_sha'))[:12]})")
     print()

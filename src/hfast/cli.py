@@ -10,6 +10,7 @@ Subcommands::
                             [--report-dir DIR] [--bench-dir DIR] ...
     python -m hfast report  --trace T.jsonl [--report-dir DIR] [--bench-dir DIR]
     python -m hfast trace   {summary,critical-path,flame,gantt,diff} TRACE ...
+    python -m hfast serve   [--host H] [--port P] [--serve-dir DIR] ...
     python -m hfast apps
 
 ``--profile`` turns the observability layer on; ``--trace-out`` /
@@ -53,6 +54,14 @@ scheduler attribution), ``critical-path`` (``--weight cost`` is
 backend-invariant), ``flame`` (folded stacks or speedscope JSON),
 ``gantt`` (ASCII cell timeline), and ``diff A B`` (stage/cell deltas
 between two runs).
+
+``hfast serve`` runs the analysis-as-a-service daemon: an HTTP API
+(``POST /v1/jobs``) over the (app, scale, seed, timing/interconnect/
+matcher config) space, with a content-addressed result cache,
+single-flight dedupe of identical in-flight submissions, bounded
+admission with ``429`` backpressure, Prometheus ``/metrics``, and a
+graceful SIGTERM drain. Served results are byte-identical to a direct
+``hfast analyze`` run of the same spec.
 """
 
 from __future__ import annotations
@@ -251,6 +260,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_di.add_argument("--strict", action="store_true",
                       help="fail on malformed interior JSONL lines instead of skipping them")
     p_di.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    p_sv = sub.add_parser("serve", help="run the analysis-as-a-service HTTP daemon")
+    p_sv.add_argument("--host", default="127.0.0.1")
+    p_sv.add_argument("--port", type=int, default=8348, help="0 binds an ephemeral port")
+    p_sv.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    p_sv.add_argument(
+        "--serve-dir", default=".hfast_serve",
+        help="service state root (results/, jobs/ ledger, journal/)",
+    )
+    p_sv.add_argument(
+        "--max-running", type=int, default=2,
+        help="jobs executing concurrently; more wait in the queue",
+    )
+    p_sv.add_argument(
+        "--queue-limit", type=int, default=8,
+        help="queued jobs beyond --max-running before submissions get 429",
+    )
+    p_sv.add_argument(
+        "--workers", type=int, default=1,
+        help="pipeline workers per job (passed through to run_pipeline)",
+    )
+    p_sv.add_argument(
+        "--job-scheduler", choices=SCHEDULERS, default="stealing",
+        help="scheduler each job runs under; stealing journals progress so "
+             "interrupted jobs resume after a daemon restart",
+    )
+    p_sv.add_argument(
+        "--trace-out", default=None,
+        help="unified JSONL trace: every job's spans graft under a serve_job root",
+    )
+    p_sv.add_argument(
+        "--bench-dir", default=None,
+        help="BENCH_*.json directory for the jobs' cost model (default: none)",
+    )
+    p_sv.add_argument(
+        "--no-store", action="store_true",
+        help="do not write pipeline cache misses back to --cache-dir",
+    )
 
     p_apps = sub.add_parser("apps", help="list known apps and cached traces")
     p_apps.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
@@ -537,6 +584,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Lazy import: the serve package pulls in asyncio machinery no other
+    # subcommand needs.
+    from hfast.serve.daemon import ServeConfig, run_serve
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        serve_dir=args.serve_dir,
+        max_running=args.max_running,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        scheduler=args.job_scheduler,
+        trace_out=args.trace_out,
+        store=not args.no_store,
+        bench_dir=args.bench_dir,
+    )
+    return run_serve(config)
+
+
 def _cmd_apps(args: argparse.Namespace) -> int:
     cache = ReproCache(args.cache_dir, readonly=True)
     scales = discover_scales(cache, available_apps())
@@ -557,6 +625,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "apps":
         return _cmd_apps(args)
     return 2

@@ -40,6 +40,7 @@ def build_manifest(
     shard: tuple[int, int] | None = None,
     scheduler: dict[str, Any] | None = None,
     matcher: str | None = None,
+    service: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     return {
         "git_sha": git_sha(cwd),
@@ -58,6 +59,10 @@ def build_manifest(
         # Scheduler section: backend (+ run id) up front; the work-stealing
         # backend folds its steal/retry/re-dispatch counters in at the end.
         "scheduler": dict(scheduler) if scheduler else {"backend": "static"},
+        # Set when the run was submitted through `hfast serve`: the job id
+        # and content-addressed result key, so a served artifact is
+        # traceable back to the exact HTTP submission that produced it.
+        "service": dict(service) if service else None,
         # Filled in when the run completes:
         "cache": None,
         "cells": None,

@@ -5,11 +5,19 @@ registry. A process-wide ambient instance (disabled by default) lets hot
 paths be instrumented unconditionally — ``@profiled("stage")`` and
 ``obs_span(...)`` resolve the ambient instance at call time and collapse
 to near-zero work when observability is off.
+
+The ambient lookup is two-level: :func:`configure` installs a
+process-wide default (the CLI's single-run instance), while
+:func:`using` installs a *thread-local* override. Concurrent pipelines
+in one process — the ``hfast serve`` daemon runs one per in-flight job —
+therefore never see each other's tracer or metrics: each job thread's
+``using(obs)`` scope is invisible to its neighbours.
 """
 
 from __future__ import annotations
 
 import functools
+import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
@@ -59,35 +67,43 @@ class Observability:
 
 
 _ambient = Observability.disabled()
+_local = threading.local()
 
 
 def configure(obs: Observability) -> Observability:
-    """Install obs as the process-wide ambient instance; returns it."""
+    """Install obs as the process-wide ambient default; returns it."""
     global _ambient
     _ambient = obs
     return obs
 
 
 def get_obs() -> Observability:
-    return _ambient
+    """Resolve the ambient instance: thread-local override, else default."""
+    override = getattr(_local, "obs", None)
+    return override if override is not None else _ambient
 
 
 @contextmanager
 def using(obs: Observability) -> Iterator[Observability]:
-    """Temporarily install obs as the ambient instance."""
-    global _ambient
-    prev = _ambient
-    _ambient = obs
+    """Temporarily install obs as this thread's ambient instance.
+
+    The override is thread-local, so concurrent jobs (the serve daemon
+    runs one pipeline per in-flight job, on executor threads) scope
+    their observability independently; nested ``using`` blocks restore
+    the enclosing override on exit.
+    """
+    prev = getattr(_local, "obs", None)
+    _local.obs = obs
     try:
         yield obs
     finally:
-        _ambient = prev
+        _local.obs = prev
 
 
 @contextmanager
 def obs_span(name: str, **attrs: Any) -> Iterator[Any]:
     """Span against the ambient observability instance."""
-    with _ambient.tracer.span(name, **attrs) as sp:
+    with get_obs().tracer.span(name, **attrs) as sp:
         yield sp
 
 
@@ -101,7 +117,7 @@ def profiled(stage: str, **attrs: Any) -> Callable:
     def deco(fn: Callable) -> Callable:
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
-            obs = _ambient
+            obs = get_obs()
             if not obs.enabled:
                 return fn(*args, **kwargs)
             obs.metrics.counter(f"stage.{stage}.calls").inc()

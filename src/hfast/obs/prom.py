@@ -83,6 +83,30 @@ def render_registry(registry: MetricsRegistry) -> str:
     return render_prometheus(dict(registry.to_dict()))
 
 
+def render_registries(*registries: MetricsRegistry) -> str:
+    """One exposition document over several live registries.
+
+    The serve daemon keeps its service counters (admission, dedupe,
+    cache hits) in one registry and the cumulative per-job pipeline
+    metrics in another; a scrape must see both. Later registries win on
+    name collisions — after :func:`prom_name` sanitization two distinct
+    raw names can land on the same exposition name, and one series per
+    name is a format invariant. Snapshots are taken with the same
+    concurrent-mutation retry as :func:`render_registry`.
+    """
+    merged: dict[str, Any] = {}
+    for registry in registries:
+        for _ in range(8):
+            try:
+                merged.update(registry.to_dict())
+                break
+            except RuntimeError:  # dict changed size during iteration
+                continue
+        else:
+            merged.update(dict(registry.to_dict()))
+    return render_prometheus(merged)
+
+
 # ---------------------------------------------------------------------------
 # Parse side: enough of the exposition format to round-trip our own output.
 

@@ -75,6 +75,34 @@ class EventBus:
                 self.dropped += 1
 
 
+class RingLog:
+    """Bounded, thread-safe ring of the most recent bus events.
+
+    Subscribed to an :class:`EventBus`, it gives long-running consumers
+    (the serve daemon's ``/v1/events`` ops endpoint) a cheap "what just
+    happened" window without unbounded growth: the newest ``capacity``
+    events win, and :meth:`tail` snapshots them oldest-first.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = max(1, int(capacity))
+        self._events: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self.seen = 0
+
+    def handle(self, event: dict[str, Any]) -> None:
+        with self._lock:
+            self.seen += 1
+            self._events.append(event)
+            if len(self._events) > self.capacity:
+                del self._events[: len(self._events) - self.capacity]
+
+    def tail(self, n: int | None = None) -> list[dict[str, Any]]:
+        with self._lock:
+            events = list(self._events)
+        return events if n is None else events[-max(0, int(n)):]
+
+
 class StreamForwardSink:
     """Trace sink that forwards annotated event copies to a live channel.
 

@@ -430,6 +430,8 @@ def run_pipeline(
     retry_backoff: float = 0.05,
     journal_dir: str | None = None,
     resume: str | None = None,
+    run_id: str | None = None,
+    service: dict[str, Any] | None = None,
     bench_dir: str | None = ".",
     bus: "stream.EventBus | None" = None,
     anomaly: AnomalyDetector | None = None,
@@ -463,6 +465,12 @@ def run_pipeline(
     ``anomaly_threshold``); flagged cells are emitted as ``anomaly``
     trace events and returned under ``"anomalies"``.
 
+    ``run_id`` pins the stealing scheduler's journal id instead of
+    generating one — callers that must find the journal again after a
+    crash (the serve daemon keys journals by job id) pass it here.
+    ``service`` is provenance only: it lands in the manifest so a served
+    artifact is traceable to its HTTP submission.
+
     ``mitigate=True`` (stealing backend only) closes the loop: in-flight
     cells the detector flags as ``straggler_running`` are speculatively
     re-dispatched and their app's queued siblings reprioritized. This
@@ -487,7 +495,8 @@ def run_pipeline(
 
     sched_info: dict[str, Any] = {"backend": scheduler}
     journal: RunJournal | None = None
-    run_id: str | None = None
+    if scheduler != "stealing":
+        run_id = None
     if scheduler == "stealing":
         fingerprint = build_fingerprint(
             apps, scales, cache_dir, backend, timing_seed, store,
@@ -499,7 +508,7 @@ def run_pipeline(
             journal.check_fingerprint(fingerprint)
             run_id = resume
         else:
-            run_id = new_run_id()
+            run_id = run_id or new_run_id()
             journal = RunJournal.create(jdir, run_id, fingerprint)
         sched_info["run_id"] = run_id
         sched_info["resumed"] = resume is not None
@@ -511,7 +520,7 @@ def run_pipeline(
     matcher = config.matcher if config is not None else DEFAULT_MATCHER
     manifest = build_manifest(
         apps, scales, argv=argv, workers=workers, shard=shard, scheduler=sched_info,
-        matcher=matcher,
+        matcher=matcher, service=service,
     )
     obs.tracer.emit_event("manifest", manifest)
 

@@ -43,6 +43,17 @@ def new_run_id() -> str:
     return f"{stamp}-{uuid.uuid4().hex[:6]}"
 
 
+def has_journal(journal_dir: str | os.PathLike, run_id: str) -> bool:
+    """True when a journal file exists for ``run_id`` under ``journal_dir``.
+
+    The serve daemon's crash recovery uses this to decide between
+    ``resume=<run_id>`` (a journal survived, replay its completed cells)
+    and a fresh run under the same id (the daemon died before the
+    scheduler wrote anything).
+    """
+    return (Path(journal_dir) / f"{run_id}.jsonl").is_file()
+
+
 def journal_dir_for(cache_dir: str | os.PathLike, journal_dir: str | os.PathLike | None) -> Path:
     """Journal location: explicit dir, else a subdir beside the cache.
 

@@ -1,0 +1,29 @@
+"""Analysis-as-a-service: the ``hfast serve`` HTTP daemon.
+
+Public surface:
+
+- :func:`hfast.serve.jobspec.canonicalize` / :class:`~hfast.serve.jobspec.JobSpec`
+  — submission validation and content addressing.
+- :class:`hfast.serve.store.ResultStore` / :class:`hfast.serve.store.JobLedger`
+  — durable result artifacts and job lifecycle records.
+- :class:`hfast.serve.daemon.AnalysisService` — the asyncio HTTP service.
+- :class:`hfast.serve.daemon.ServiceThread` — in-process embedding for
+  tests and smoke scripts.
+- :func:`hfast.serve.daemon.run_serve` — the CLI entry point.
+"""
+
+from hfast.serve.daemon import AnalysisService, ServeConfig, ServiceThread, run_serve
+from hfast.serve.jobspec import JobSpec, JobValidationError, canonicalize
+from hfast.serve.store import JobLedger, ResultStore
+
+__all__ = [
+    "AnalysisService",
+    "ServeConfig",
+    "ServiceThread",
+    "run_serve",
+    "JobSpec",
+    "JobValidationError",
+    "canonicalize",
+    "JobLedger",
+    "ResultStore",
+]

@@ -1,0 +1,270 @@
+"""Job specifications: validation, canonicalization, content addressing.
+
+A submission to ``POST /v1/jobs`` names one (app, nranks) cell plus the
+knobs that change its analysis output: trace-synthesis backend and
+overrides, the deterministic timing seed, and the full interconnect
+configuration. :func:`canonicalize` validates the request and maps it
+onto a :class:`JobSpec` whose :attr:`JobSpec.key` is the sha256 of the
+canonical JSON document — two submissions that differ only in field
+order or in explicitly spelling out default values land on the same key
+(and therefore the same cached result), while any field that actually
+changes the output changes the key.
+
+The spec's ``overrides`` feed the same ``{app, nranks, overrides}``
+sha256 key the repro-cache has always used (:func:`hfast.cache.cache_key`),
+so the service's result addressing is an extension of the existing
+content-addressed trace cache, not a parallel scheme.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from hfast.apps import APPS, BACKENDS, DEFAULT_BACKEND
+from hfast.cache import cache_key
+from hfast.interconnect import InterconnectConfig
+from hfast.matcher import MATCHERS
+from hfast.timing import DEFAULT_TIMING_SEED
+
+#: Canonical-document schema version; bump on any change to the layout
+#: below, because the version participates in the sha256 key.
+SPEC_FORMAT = 1
+
+MAX_NRANKS = 1 << 20
+MAX_TIMESTEPS = 4096
+
+_DEFAULT_CONFIG = InterconnectConfig()
+
+#: field -> (default, kind); ``kind`` drives validation + normalization.
+FIELDS: dict[str, tuple[Any, str]] = {
+    "app": (None, "app"),
+    "nranks": (None, "nranks"),
+    "backend": (DEFAULT_BACKEND, "backend"),
+    "timing_seed": (DEFAULT_TIMING_SEED, "int"),
+    "overrides": ({}, "overrides"),
+    "circuits_per_node": (_DEFAULT_CONFIG.circuits_per_node, "nonneg_int"),
+    "circuit_bandwidth": (_DEFAULT_CONFIG.circuit_bandwidth, "pos_float"),
+    "packet_bandwidth": (_DEFAULT_CONFIG.packet_bandwidth, "pos_float"),
+    "circuit_latency": (_DEFAULT_CONFIG.circuit_latency, "pos_float"),
+    "packet_latency": (_DEFAULT_CONFIG.packet_latency, "pos_float"),
+    "timesteps": (_DEFAULT_CONFIG.timesteps, "timesteps"),
+    "reconfig_cost": (_DEFAULT_CONFIG.reconfig_cost, "nonneg_float"),
+    "slice_seed": (_DEFAULT_CONFIG.slice_seed, "int"),
+    "matcher": (_DEFAULT_CONFIG.matcher, "matcher"),
+}
+
+_INT_FIELDS = {"nranks", "timing_seed", "circuits_per_node", "timesteps", "slice_seed"}
+_FLOAT_FIELDS = {
+    "circuit_bandwidth",
+    "packet_bandwidth",
+    "circuit_latency",
+    "packet_latency",
+    "reconfig_cost",
+}
+
+
+class JobValidationError(ValueError):
+    """A job submission failed validation; ``errors`` lists every problem."""
+
+    def __init__(self, errors: list[str]):
+        self.errors = list(errors)
+        super().__init__("; ".join(errors))
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_finite_number(value: Any) -> bool:
+    if isinstance(value, bool):
+        return False
+    return isinstance(value, (int, float)) and math.isfinite(value)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated, fully-defaulted analysis request."""
+
+    app: str
+    nranks: int
+    backend: str
+    timing_seed: int
+    overrides: tuple[tuple[str, Any], ...]
+    circuits_per_node: int
+    circuit_bandwidth: float
+    packet_bandwidth: float
+    circuit_latency: float
+    packet_latency: float
+    timesteps: int
+    reconfig_cost: float
+    slice_seed: int
+    matcher: str
+
+    @property
+    def cell_key(self) -> str:
+        return f"{self.app}_p{self.nranks}"
+
+    def overrides_dict(self) -> dict[str, Any]:
+        return dict(self.overrides)
+
+    def interconnect_config(self) -> InterconnectConfig:
+        return InterconnectConfig(
+            circuits_per_node=self.circuits_per_node,
+            circuit_bandwidth=self.circuit_bandwidth,
+            packet_bandwidth=self.packet_bandwidth,
+            circuit_latency=self.circuit_latency,
+            packet_latency=self.packet_latency,
+            timesteps=self.timesteps,
+            reconfig_cost=self.reconfig_cost,
+            slice_seed=self.slice_seed,
+            matcher=self.matcher,
+        )
+
+    def canonical_doc(self) -> dict[str, Any]:
+        """Fully-defaulted, normalized document the result key hashes."""
+        return {
+            "format": SPEC_FORMAT,
+            "app": self.app,
+            "nranks": self.nranks,
+            "backend": self.backend,
+            "timing_seed": self.timing_seed,
+            "overrides": self.overrides_dict(),
+            "interconnect": {
+                "circuits_per_node": self.circuits_per_node,
+                "circuit_bandwidth": float(self.circuit_bandwidth),
+                "packet_bandwidth": float(self.packet_bandwidth),
+                "circuit_latency": float(self.circuit_latency),
+                "packet_latency": float(self.packet_latency),
+                "timesteps": self.timesteps,
+                "reconfig_cost": float(self.reconfig_cost),
+                "slice_seed": self.slice_seed,
+                "matcher": self.matcher,
+            },
+        }
+
+    @property
+    def key(self) -> str:
+        """Content address: sha256 hex of the canonical JSON document."""
+        payload = json.dumps(self.canonical_doc(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @property
+    def trace_cache_key(self) -> str:
+        """The underlying repro-cache key this job's trace lives under."""
+        return cache_key(self.app, self.nranks, self.overrides_dict())
+
+    def payload(self) -> dict[str, Any]:
+        """Flat request payload that round-trips through :func:`canonicalize`.
+
+        The job ledger persists this form so daemon restart recovery can
+        rebuild the exact spec (and therefore the exact key) from disk.
+        """
+        doc = self.canonical_doc()
+        flat = {k: v for k, v in doc.items() if k not in ("format", "interconnect")}
+        flat.update(doc["interconnect"])
+        return flat
+
+
+def _validate_field(name: str, kind: str, value: Any, errors: list[str]) -> Any:
+    if kind == "app":
+        if not isinstance(value, str) or value not in APPS:
+            errors.append(
+                f"app: unknown app {value!r} (expected one of {sorted(APPS)})"
+            )
+            return None
+        return value
+    if kind == "nranks":
+        if not _is_int(value) or not 1 <= value <= MAX_NRANKS:
+            errors.append(f"nranks: expected an integer in [1, {MAX_NRANKS}], got {value!r}")
+            return None
+        return value
+    if kind == "backend":
+        if not isinstance(value, str) or value not in BACKENDS:
+            errors.append(f"backend: expected one of {BACKENDS}, got {value!r}")
+            return None
+        return value
+    if kind == "matcher":
+        if not isinstance(value, str) or value not in MATCHERS:
+            errors.append(f"matcher: expected one of {MATCHERS}, got {value!r}")
+            return None
+        return value
+    if kind == "timesteps":
+        if not _is_int(value) or not 1 <= value <= MAX_TIMESTEPS:
+            errors.append(
+                f"timesteps: expected an integer in [1, {MAX_TIMESTEPS}], got {value!r}"
+            )
+            return None
+        return value
+    if kind == "int":
+        if not _is_int(value):
+            errors.append(f"{name}: expected an integer, got {value!r}")
+            return None
+        return value
+    if kind == "nonneg_int":
+        if not _is_int(value) or value < 0:
+            errors.append(f"{name}: expected a non-negative integer, got {value!r}")
+            return None
+        return value
+    if kind == "pos_float":
+        if not _is_finite_number(value) or value <= 0:
+            errors.append(f"{name}: expected a positive finite number, got {value!r}")
+            return None
+        return float(value)
+    if kind == "nonneg_float":
+        if not _is_finite_number(value) or value < 0:
+            errors.append(f"{name}: expected a non-negative finite number, got {value!r}")
+            return None
+        return float(value)
+    if kind == "overrides":
+        if not isinstance(value, dict):
+            errors.append(f"overrides: expected an object, got {type(value).__name__}")
+            return None
+        clean: dict[str, Any] = {}
+        for k in sorted(value):
+            v = value[k]
+            if not isinstance(k, str):
+                errors.append(f"overrides: keys must be strings, got {k!r}")
+                continue
+            if v is not None and not isinstance(v, str) and not _is_finite_number(v):
+                errors.append(
+                    f"overrides[{k!r}]: values must be null, strings, or finite numbers, "
+                    f"got {v!r}"
+                )
+                continue
+            clean[k] = v
+        return tuple(sorted(clean.items()))
+    raise AssertionError(f"unhandled field kind {kind!r}")  # pragma: no cover
+
+
+def canonicalize(payload: Any) -> JobSpec:
+    """Validate a submission and return its canonical :class:`JobSpec`.
+
+    Every problem is collected before raising, so a client sees the full
+    list of offending fields in one round trip, not one per retry.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        raise JobValidationError(
+            [f"job spec must be a JSON object, got {type(payload).__name__}"]
+        )
+    unknown = sorted(set(payload) - set(FIELDS))
+    if unknown:
+        errors.append(f"unknown field(s): {', '.join(unknown)}")
+    values: dict[str, Any] = {}
+    for name, (default, kind) in FIELDS.items():
+        if name not in payload:
+            if default is None and name in ("app", "nranks"):
+                errors.append(f"{name}: required field is missing")
+                continue
+            values[name] = tuple(sorted(default.items())) if name == "overrides" else default
+            continue
+        checked = _validate_field(name, kind, payload[name], errors)
+        if checked is not None:
+            values[name] = checked
+    if errors:
+        raise JobValidationError(errors)
+    return JobSpec(**values)

@@ -129,6 +129,70 @@ def test_record_writes_delta_table_without_changing_verdict(tmp_path):
     assert doc["failures"]
 
 
+def test_missing_candidate_file_skips_with_exit_zero(tmp_path, capsys):
+    """CI hands over whatever `ls -t` found; a vanished file is a skip."""
+    base = write_bench(tmp_path / "BENCH_a.json", {"pipeline": 1.0})
+    assert bench_compare.main([str(base), str(tmp_path / "BENCH_gone.json")]) == 0
+    out = capsys.readouterr().out
+    assert "cannot read" in out and "nothing to guard" in out
+
+
+def test_empty_file_skips_with_exit_zero(tmp_path, capsys):
+    """A truncated upload (0 bytes) must not fail the trajectory guard."""
+    base = write_bench(tmp_path / "BENCH_a.json", {"pipeline": 1.0})
+    empty = tmp_path / "BENCH_empty.json"
+    empty.write_text("")
+    assert bench_compare.main([str(base), str(empty)]) == 0
+    assert "cannot read" in capsys.readouterr().out
+
+
+def test_invalid_json_skips_with_exit_zero(tmp_path, capsys):
+    base = write_bench(tmp_path / "BENCH_a.json", {"pipeline": 1.0})
+    broken = tmp_path / "BENCH_broken.json"
+    broken.write_text('{"git_sha": "abc", "profile": {')
+    assert bench_compare.main([str(base), str(broken)]) == 0
+    assert "cannot read" in capsys.readouterr().out
+
+
+def test_non_bench_document_skips_with_exit_zero(tmp_path, capsys):
+    """Valid JSON that isn't a BENCH snapshot (e.g. a stray manifest)."""
+    base = write_bench(tmp_path / "BENCH_a.json", {"pipeline": 1.0})
+    stray = tmp_path / "BENCH_stray.json"
+    stray.write_text(json.dumps({"manifest": True}))
+    assert bench_compare.main([str(base), str(stray)]) == 0
+    assert "not a BENCH document" in capsys.readouterr().out
+
+
+def test_unusable_snapshot_skip_writes_record(tmp_path):
+    base = write_bench(tmp_path / "BENCH_a.json", {"pipeline": 1.0})
+    empty = tmp_path / "BENCH_empty.json"
+    empty.write_text("")
+    record = tmp_path / "record.json"
+    assert bench_compare.main([str(base), str(empty), "--record", str(record)]) == 0
+    assert json.loads(record.read_text())["skipped"] == "unusable snapshot"
+
+
+def test_dir_scan_ignores_unusable_snapshots(tmp_path, capsys):
+    """Damaged files in the artifact dir neither crash nor get picked."""
+    (tmp_path / "BENCH_empty.json").write_text("")
+    (tmp_path / "BENCH_scalar.json").write_text("42")
+    (tmp_path / "BENCH_noprof.json").write_text(json.dumps({"git_sha": "x"}))
+    base = write_bench(tmp_path / "BENCH_1.json", {"pipeline": 1.0},
+                       stamp="2026-01-01T00:00:00")
+    cand = write_bench(tmp_path / "BENCH_2.json", {"pipeline": 1.0},
+                       stamp="2026-02-01T00:00:00")
+    assert bench_compare.pick_newest_two(tmp_path) == [base, cand]
+    assert bench_compare.main(["--dir", str(tmp_path)]) == 0
+    assert "no stage regressions" in capsys.readouterr().out
+
+
+def test_dir_scan_with_only_unusable_snapshots_skips(tmp_path, capsys):
+    (tmp_path / "BENCH_a.json").write_text("")
+    (tmp_path / "BENCH_b.json").write_text("{bad")
+    assert bench_compare.main(["--dir", str(tmp_path)]) == 0
+    assert "fewer than two" in capsys.readouterr().out
+
+
 def test_record_written_on_skip_paths(tmp_path, capsys):
     record = tmp_path / "record.json"
     assert bench_compare.main(["--dir", str(tmp_path), "--record", str(record)]) == 0

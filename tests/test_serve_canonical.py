@@ -1,0 +1,235 @@
+"""Canonicalization and content-addressing properties of serve job specs.
+
+The service's cache correctness rests on two properties of
+:func:`hfast.serve.jobspec.canonicalize`:
+
+1. submissions that describe the same analysis — reordered fields,
+   defaults spelled out, ``1e-3`` vs ``0.001`` — land on the same sha256
+   key, so they share one cached result;
+2. submissions that differ in any output-affecting field never collide.
+
+Both are pinned here with seeded sweeps (plus hypothesis sweeps when the
+library is installed), alongside the validation-error table the 400
+responses are built from.
+"""
+
+import json
+
+import pytest
+
+from hfast.cache import cache_key
+from hfast.serve.jobspec import (
+    FIELDS,
+    JobSpec,
+    JobValidationError,
+    canonicalize,
+)
+
+MINIMAL = {"app": "cactus", "nranks": 8}
+
+
+def test_minimal_spec_gets_all_defaults():
+    spec = canonicalize(MINIMAL)
+    assert spec.app == "cactus"
+    assert spec.nranks == 8
+    assert spec.backend == "vector"
+    assert spec.matcher == "vector"
+    assert spec.timesteps == 4
+    assert spec.overrides == ()
+
+
+def test_key_is_full_sha256_hex():
+    key = canonicalize(MINIMAL).key
+    assert len(key) == 64
+    assert int(key, 16) >= 0
+
+
+def test_field_order_does_not_change_key():
+    a = canonicalize({"app": "gtc", "nranks": 16, "timing_seed": 3, "matcher": "scalar"})
+    b = canonicalize({"matcher": "scalar", "timing_seed": 3, "nranks": 16, "app": "gtc"})
+    assert a == b
+    assert a.key == b.key
+
+
+def test_explicit_defaults_land_on_same_key():
+    minimal = canonicalize(MINIMAL)
+    spelled = canonicalize(minimal.payload())  # every field explicit
+    assert spelled == minimal
+    assert spelled.key == minimal.key
+
+
+def test_float_spellings_of_same_value_share_key():
+    a = canonicalize({**MINIMAL, "reconfig_cost": 1e-3})
+    b = canonicalize({**MINIMAL, "reconfig_cost": 0.001})
+    assert a.key == b.key
+
+
+def test_int_valued_float_field_shares_key_with_int():
+    a = canonicalize({**MINIMAL, "circuit_bandwidth": 10_000_000_000})
+    b = canonicalize({**MINIMAL, "circuit_bandwidth": 10e9})
+    assert a.key == b.key
+
+
+def test_json_round_trip_of_payload_is_key_stable():
+    spec = canonicalize({**MINIMAL, "timesteps": 7, "overrides": {"x": 1.5}})
+    wire = json.loads(json.dumps(spec.payload()))
+    assert canonicalize(wire).key == spec.key
+
+
+def test_every_field_change_changes_key():
+    """Perturbing any single field must move the spec to a new key."""
+    base = canonicalize(MINIMAL)
+    perturbed = {
+        "app": "gtc",
+        "nranks": 16,
+        "backend": "scalar",
+        "timing_seed": 99,
+        "overrides": {"w": 2},
+        "circuits_per_node": 5,
+        "circuit_bandwidth": 11e9,
+        "packet_bandwidth": 2e9,
+        "circuit_latency": 2e-6,
+        "packet_latency": 2e-5,
+        "timesteps": 8,
+        "reconfig_cost": 2e-3,
+        "slice_seed": 1,
+        "matcher": "incremental",
+    }
+    keys = {base.key}
+    for name, value in perturbed.items():
+        key = canonicalize({**MINIMAL, name: value}).key
+        assert key not in keys, f"perturbing {name} collided with a prior key"
+        keys.add(key)
+
+
+def test_seeded_sweep_distinct_specs_never_collide():
+    import random
+
+    rng = random.Random(20260808)
+    seen: dict[str, tuple] = {}
+    apps = ("cactus", "gtc", "lbmhd", "paratec")
+    for _ in range(300):
+        payload = {
+            "app": rng.choice(apps),
+            "nranks": rng.choice((4, 8, 16, 32)),
+            "timing_seed": rng.randrange(4),
+            "timesteps": rng.randrange(1, 5),
+            "slice_seed": rng.randrange(3),
+            "matcher": rng.choice(("scalar", "vector", "incremental")),
+        }
+        spec = canonicalize(payload)
+        ident = tuple(sorted(spec.canonical_doc()["interconnect"].items())) + (
+            spec.app, spec.nranks, spec.backend, spec.timing_seed, spec.overrides,
+        )
+        if spec.key in seen:
+            assert seen[spec.key] == ident, "distinct specs collided on one key"
+        seen[spec.key] = ident
+
+
+def test_trace_cache_key_matches_repro_cache_contract():
+    spec = canonicalize({**MINIMAL, "overrides": {"a": 1}})
+    assert spec.trace_cache_key == cache_key("cactus", 8, {"a": 1})
+
+
+def test_interconnect_config_carries_every_knob():
+    spec = canonicalize(
+        {**MINIMAL, "timesteps": 9, "reconfig_cost": 0.5, "matcher": "incremental"}
+    )
+    cfg = spec.interconnect_config()
+    assert cfg.timesteps == 9
+    assert cfg.reconfig_cost == 0.5
+    assert cfg.matcher == "incremental"
+    assert cfg.circuits_per_node == 4
+
+
+# -- validation-error table ---------------------------------------------------
+
+INVALID = [
+    ("not-an-object", [1, 2, 3], "must be a JSON object"),
+    ("missing-app", {"nranks": 8}, "app: required"),
+    ("missing-nranks", {"app": "cactus"}, "nranks: required"),
+    ("unknown-app", {"app": "nonesuch", "nranks": 8}, "unknown app"),
+    ("unknown-field", {**MINIMAL, "wat": 1}, "unknown field"),
+    ("nranks-zero", {"app": "cactus", "nranks": 0}, "nranks"),
+    ("nranks-negative", {"app": "cactus", "nranks": -4}, "nranks"),
+    ("nranks-bool", {"app": "cactus", "nranks": True}, "nranks"),
+    ("nranks-float", {"app": "cactus", "nranks": 8.0}, "nranks"),
+    ("nranks-string", {"app": "cactus", "nranks": "8"}, "nranks"),
+    ("nranks-huge", {"app": "cactus", "nranks": 1 << 21}, "nranks"),
+    ("bad-backend", {**MINIMAL, "backend": "cuda"}, "backend"),
+    ("bad-matcher", {**MINIMAL, "matcher": "quantum"}, "matcher"),
+    ("seed-bool", {**MINIMAL, "timing_seed": False}, "timing_seed"),
+    ("timesteps-zero", {**MINIMAL, "timesteps": 0}, "timesteps"),
+    ("negative-circuits", {**MINIMAL, "circuits_per_node": -1}, "circuits_per_node"),
+    ("zero-bandwidth", {**MINIMAL, "circuit_bandwidth": 0}, "circuit_bandwidth"),
+    ("negative-latency", {**MINIMAL, "packet_latency": -1e-6}, "packet_latency"),
+    ("inf-bandwidth", {**MINIMAL, "circuit_bandwidth": float("inf")}, "circuit_bandwidth"),
+    ("nan-cost", {**MINIMAL, "reconfig_cost": float("nan")}, "reconfig_cost"),
+    ("negative-cost", {**MINIMAL, "reconfig_cost": -0.1}, "reconfig_cost"),
+    ("overrides-list", {**MINIMAL, "overrides": [1]}, "overrides"),
+    ("overrides-nested", {**MINIMAL, "overrides": {"x": {"y": 1}}}, "overrides"),
+]
+
+
+@pytest.mark.parametrize("label,payload,needle", INVALID, ids=[i[0] for i in INVALID])
+def test_invalid_payload_rejected(label, payload, needle):
+    with pytest.raises(JobValidationError) as err:
+        canonicalize(payload)
+    assert any(needle in e for e in err.value.errors), err.value.errors
+
+
+def test_all_errors_collected_in_one_pass():
+    with pytest.raises(JobValidationError) as err:
+        canonicalize({"app": "nonesuch", "nranks": -1, "matcher": "bad", "extra": 1})
+    joined = " | ".join(err.value.errors)
+    assert "app" in joined and "nranks" in joined
+    assert "matcher" in joined and "unknown field" in joined
+    assert len(err.value.errors) >= 4
+
+
+def test_nan_injected_via_json_literals_is_rejected():
+    # json.loads accepts Infinity/NaN extensions; the validator must not.
+    payload = json.loads('{"app": "cactus", "nranks": 8, "reconfig_cost": NaN}')
+    with pytest.raises(JobValidationError):
+        canonicalize(payload)
+
+
+def test_fields_table_covers_jobspec():
+    assert set(FIELDS) == {f.name for f in JobSpec.__dataclass_fields__.values()}
+
+
+# -- hypothesis sweeps (skipped when the library is unavailable) --------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+spec_payloads = st.fixed_dictionaries(
+    {"app": st.sampled_from(("cactus", "gtc", "lbmhd", "paratec")),
+     "nranks": st.integers(min_value=1, max_value=1024)},
+    optional={
+        "backend": st.sampled_from(("vector", "scalar")),
+        "timing_seed": st.integers(min_value=-10, max_value=10),
+        "timesteps": st.integers(min_value=1, max_value=64),
+        "slice_seed": st.integers(min_value=-5, max_value=5),
+        "matcher": st.sampled_from(("scalar", "vector", "incremental")),
+        "reconfig_cost": st.floats(min_value=0, max_value=10, allow_nan=False),
+        "circuit_bandwidth": st.floats(min_value=1, max_value=1e12, allow_nan=False),
+    },
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(payload=spec_payloads)
+def test_hypothesis_payload_round_trip_is_key_stable(payload):
+    spec = canonicalize(payload)
+    again = canonicalize(json.loads(json.dumps(spec.payload())))
+    assert again == spec
+    assert again.key == spec.key
+
+
+@settings(max_examples=150, deadline=None)
+@given(payload=spec_payloads, data=st.data())
+def test_hypothesis_key_equality_iff_canonical_doc_equality(payload, data):
+    other = data.draw(spec_payloads)
+    a, b = canonicalize(payload), canonicalize(other)
+    assert (a.key == b.key) == (a.canonical_doc() == b.canonical_doc())
