@@ -11,7 +11,9 @@ Subcommands::
     python -m hfast report  --trace T.jsonl [--report-dir DIR] [--bench-dir DIR]
     python -m hfast trace   {summary,critical-path,flame,gantt,diff} TRACE ...
     python -m hfast serve   [--host H] [--port P] [--serve-dir DIR] ...
-    python -m hfast apps
+    python -m hfast search  --app A --scale N [--circuits 1,2,4] [--strategy grid] ...
+    python -m hfast calibrate [--out PARAMS.json]
+    python -m hfast apps    [--params PARAMS.json]
 
 ``--profile`` turns the observability layer on; ``--trace-out`` /
 ``--metrics-out`` imply it. With no profiling flags, the pipeline runs
@@ -62,6 +64,20 @@ single-flight dedupe of identical in-flight submissions, bounded
 admission with ``429`` backpressure, Prometheus ``/metrics``, and a
 graceful SIGTERM drain. Served results are byte-identical to a direct
 ``hfast analyze`` run of the same spec.
+
+``hfast search`` explores the interconnect design space (circuit
+counts, reconfiguration cost, matcher backend, traffic-slice
+granularity) against one (app, scale) workload and reports the Pareto
+frontier over (coverage, packet-fallback bytes, reconfiguration cost,
+analytic evaluation cost). Candidate evaluations dispatch through the
+same serial/pool/work-stealing backends as analysis cells, so searches
+shard, retry, journal, and ``--resume`` — and the ``--out`` frontier
+artifact is byte-identical across all of them for a fixed spec.
+
+``hfast calibrate`` fits each app's LogGP ``compute_step_s`` against
+the paper's %comm tables and writes a provenance-stamped params
+artifact; ``hfast apps --params`` overlays it and shows per-app
+provenance (default vs calibrated).
 """
 
 from __future__ import annotations
@@ -99,6 +115,13 @@ def _csv_ints(value: str) -> list[int]:
         return [int(v) for v in _csv(value)]
     except ValueError as exc:
         raise argparse.ArgumentTypeError(f"expected comma-separated integers: {value!r}") from exc
+
+
+def _csv_floats(value: str) -> list[float]:
+    try:
+        return [float(v) for v in _csv(value)]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected comma-separated numbers: {value!r}") from exc
 
 
 def _shard(value: str) -> tuple[int, int]:
@@ -298,9 +321,123 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-store", action="store_true",
         help="do not write pipeline cache misses back to --cache-dir",
     )
+    p_sv.add_argument(
+        "--store-max-bytes", type=int, default=None, metavar="N",
+        help="LRU byte budget for the result store: writes past it evict "
+             "the least-recently-served artifacts (default: unbounded)",
+    )
+
+    p_se = sub.add_parser(
+        "search", help="design-space search over the temporal interconnect evaluator"
+    )
+    p_se.add_argument("--app", required=True, help="application workload to evaluate against")
+    p_se.add_argument("--scale", type=int, required=True, help="rank count for the workload")
+    p_se.add_argument(
+        "--circuits", type=_csv_ints, default=None,
+        help="comma-separated circuits-per-node values to search",
+    )
+    p_se.add_argument(
+        "--reconfig-costs", type=_csv_floats, default=None,
+        help="comma-separated reconfiguration costs (seconds) to search",
+    )
+    p_se.add_argument(
+        "--matchers", type=_csv, default=None,
+        help="comma-separated matcher backends to search",
+    )
+    p_se.add_argument(
+        "--timesteps", type=_csv_ints, default=None,
+        help="comma-separated traffic-slice counts to search (1 = static)",
+    )
+    p_se.add_argument(
+        "--strategy", choices=("grid", "evolution"), default="grid",
+        help="exhaustive grid, or seeded evolutionary search over the space",
+    )
+    p_se.add_argument("--seed", type=int, default=0, help="search seed (sampling + mutation)")
+    p_se.add_argument(
+        "--population", type=int, default=8, help="evolution: candidates per generation"
+    )
+    p_se.add_argument("--generations", type=int, default=3, help="evolution: generation count")
+    p_se.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    p_se.add_argument("--no-store", action="store_true", help="do not write cache misses back")
+    p_se.add_argument(
+        "--backend", choices=BACKENDS, default=DEFAULT_BACKEND,
+        help="trace-synthesis backend for candidate evaluations",
+    )
+    p_se.add_argument(
+        "--timing-seed", type=int, default=DEFAULT_TIMING_SEED,
+        help="seed for the deterministic LogGP timing model",
+    )
+    p_se.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for parallel candidate evaluation (default: serial)",
+    )
+    p_se.add_argument(
+        "--scheduler", choices=SCHEDULERS, default="static",
+        help="candidate scheduler; the frontier artifact is byte-identical either way",
+    )
+    p_se.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="resume a prior stealing search from its journal (implies --scheduler stealing)",
+    )
+    p_se.add_argument(
+        "--max-retries", type=int, default=2,
+        help="stealing scheduler: retries per candidate after the first attempt",
+    )
+    p_se.add_argument(
+        "--heartbeat-timeout", type=float, default=30.0,
+        help="stealing scheduler: seconds of worker silence before re-dispatch",
+    )
+    p_se.add_argument(
+        "--journal-dir", default=None,
+        help="stealing scheduler: run-journal directory (default: <cache-dir>/.sched_journal)",
+    )
+    p_se.add_argument(
+        "--out", default=None, metavar="FRONTIER.json",
+        help="write the canonical frontier artifact here (byte-identical "
+             "across scheduler backends for a fixed spec)",
+    )
+    p_se.add_argument("--profile", action="store_true", help="enable the observability layer")
+    p_se.add_argument(
+        "--trace-out", default=None,
+        help="JSONL trace: per-candidate spans graft under a dse_search root (implies --profile)",
+    )
+    p_se.add_argument(
+        "--report-dir", default=None,
+        help="write report.md + report.json (with the Design-space frontier "
+             "section) here (implies --profile)",
+    )
+    p_se.add_argument("--bench-dir", default=None, help="BENCH_*.json directory for the cost model")
+    p_se.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero if any candidate evaluation failed "
+             "(default: only if all failed)",
+    )
+
+    p_cal = sub.add_parser(
+        "calibrate", help="fit LogGP params against the paper's %%comm tables"
+    )
+    p_cal.add_argument(
+        "--apps", type=_csv, default=None,
+        help="comma-separated app list (default: every app with paper targets)",
+    )
+    p_cal.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    p_cal.add_argument("--no-store", action="store_true", help="do not write cache misses back")
+    p_cal.add_argument(
+        "--timing-seed", type=int, default=DEFAULT_TIMING_SEED,
+        help="seed for the deterministic LogGP timing model",
+    )
+    p_cal.add_argument(
+        "--out", default="loggp_params.json", metavar="PARAMS.json",
+        help="provenance-stamped params artifact (consumed by `hfast apps --params`)",
+    )
 
     p_apps = sub.add_parser("apps", help="list known apps and cached traces")
     p_apps.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    p_apps.add_argument(
+        "--params", default=None, metavar="PARAMS.json",
+        help="overlay a calibrated LogGP params artifact (from `hfast calibrate`); "
+             "each app's provenance shows default vs calibrated",
+    )
     return parser
 
 
@@ -601,18 +738,183 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_out=args.trace_out,
         store=not args.no_store,
         bench_dir=args.bench_dir,
+        store_max_bytes=args.store_max_bytes,
     )
     return run_serve(config)
 
 
+def _cmd_search(args: argparse.Namespace, argv: list[str]) -> int:
+    # Lazy import: the DSE package is only needed by this subcommand.
+    from hfast.dse.search import SearchSpec, SearchSpecError, frontier_bytes, run_search
+    from hfast.dse.space import SearchSpace, SpaceValidationError
+
+    profiling = bool(args.profile or args.trace_out or args.report_dir or args.bench_dir)
+    if profiling:
+        sink = JsonlSink(args.trace_out) if args.trace_out else None
+        obs = Observability(enabled=True, trace_sink=sink, keep_events=True)
+    else:
+        obs = Observability.disabled()
+    configure(obs)
+
+    space_kwargs = {}
+    if args.circuits is not None:
+        space_kwargs["circuits"] = tuple(args.circuits)
+    if args.reconfig_costs is not None:
+        space_kwargs["reconfig_costs"] = tuple(args.reconfig_costs)
+    if args.matchers is not None:
+        space_kwargs["matchers"] = tuple(args.matchers)
+    if args.timesteps is not None:
+        space_kwargs["timesteps"] = tuple(args.timesteps)
+    try:
+        spec = SearchSpec(
+            app=args.app,
+            nranks=args.scale,
+            space=SearchSpace(**space_kwargs),
+            strategy=args.strategy,
+            seed=args.seed,
+            population=args.population,
+            generations=args.generations,
+            backend=args.backend,
+            timing_seed=args.timing_seed,
+        )
+    except (SpaceValidationError, SearchSpecError) as exc:
+        for err in exc.errors:
+            print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    scheduler = "stealing" if args.resume else args.scheduler
+    try:
+        out = run_search(
+            spec,
+            cache_dir=args.cache_dir,
+            obs=obs,
+            store=not args.no_store,
+            argv=argv,
+            workers=args.workers,
+            scheduler=scheduler,
+            max_retries=args.max_retries,
+            heartbeat_timeout=args.heartbeat_timeout,
+            journal_dir=args.journal_dir,
+            resume=args.resume,
+            bench_dir=args.bench_dir or ".",
+        )
+    except CacheValidationError as exc:
+        print(f"error: cache validation failed: {exc}", file=sys.stderr)
+        return 1
+    except JournalError as exc:
+        print(f"error: cannot resume: {exc}", file=sys.stderr)
+        return 1
+
+    frontier = out["frontier"]
+    print(
+        f"search {frontier['search_key'][:12]}: {spec.app} p{spec.nranks} "
+        f"{spec.strategy} seed={spec.seed} -> "
+        f"{frontier['evaluated']} evaluated, {len(frontier['frontier'])} on frontier, "
+        f"{frontier['dominated']} dominated, {len(frontier['failed'])} failed"
+    )
+    for p in frontier["frontier"]:
+        cand, objs = p["candidate"], p["objectives"]
+        print(
+            f"  {p['id']} circuits={cand['circuits_per_node']:<3d} "
+            f"reconfig={cand['reconfig_cost']:<8g} matcher={cand['matcher']:<11s} "
+            f"steps={cand['timesteps']:<3d} "
+            f"coverage={objs['coverage']:.3f} packet={objs['packet_bytes']:,d}B "
+            f"reconf_s={objs['reconfig_s']:g} cost={objs['eval_cost']:.1f}"
+        )
+    sched = out["sched"] or {}
+    if sched.get("backend") == "stealing":
+        print(
+            f"scheduler: stealing run {sched.get('run_id', '?')} "
+            f"(steals={sched.get('steals', 0)} retries={sched.get('retries', 0)} "
+            f"replayed={sched.get('cells_from_journal', 0)})"
+        )
+        if sched.get("journal"):
+            print(f"journal: {sched['journal']} (resume with --resume {sched.get('run_id')})")
+
+    if args.out:
+        with open(args.out, "wb") as fh:
+            fh.write(frontier_bytes(frontier))
+        print(f"frontier: {args.out}")
+
+    if profiling:
+        report_dir = args.report_dir or DEFAULT_REPORT_DIR
+        report = build_report(obs.events)
+        paths = write_report(report, report_dir, bench_dir=args.bench_dir)
+        for kind, path in paths.items():
+            print(f"{kind}: {path}")
+        if args.trace_out:
+            print(f"trace: {args.trace_out}")
+    obs.close()
+
+    failed = frontier["failed"]
+    for f in failed:
+        print(f"error: candidate {f['id']} failed: {f['error']}", file=sys.stderr)
+    if failed and (args.strict or frontier["evaluated"] == 0):
+        return 1
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from hfast.dse.calibrate import calibrate, write_artifact
+
+    try:
+        doc = calibrate(
+            apps=args.apps,
+            cache_dir=args.cache_dir,
+            timing_seed=args.timing_seed,
+            store=not args.no_store,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for app in sorted(doc["residuals"]):
+        for scale, res in sorted(doc["residuals"][app].items(), key=lambda kv: int(kv[0])):
+            print(
+                f"{app:>8s} p{scale:<5s} target={res['target_pct']:5.1f}% "
+                f"fitted={res['fitted_pct']:6.2f}% (default was {res['default_pct']:.2f}%)"
+            )
+    path = write_artifact(doc, args.out)
+    print(f"params: {path}")
+    return 0
+
+
 def _cmd_apps(args: argparse.Namespace) -> int:
-    cache = ReproCache(args.cache_dir, readonly=True)
-    scales = discover_scales(cache, available_apps())
-    listing = {
-        app: {"description": APPS[app].description, "cached_scales": scales[app]}
-        for app in available_apps()
-    }
-    print(json.dumps(listing, indent=2))
+    from hfast.timing import (
+        ParamsArtifactError,
+        activate_params,
+        active_params,
+        deactivate_params,
+        load_params_artifact,
+        params_provenance,
+    )
+
+    if args.params:
+        try:
+            activate_params(load_params_artifact(args.params), args.params)
+        except ParamsArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        cache = ReproCache(args.cache_dir, readonly=True)
+        scales = discover_scales(cache, available_apps())
+        listing = {
+            app: {
+                "description": APPS[app].description,
+                "cached_scales": scales[app],
+                # Per-app LogGP timing params with their provenance:
+                # "default" (built-in APP_PARAMS) or "calibrated:<artifact>"
+                # when --params overlays a `hfast calibrate` fit.
+                "loggp": {
+                    **active_params(app).to_dict(),
+                    "provenance": params_provenance(app),
+                },
+            }
+            for app in available_apps()
+        }
+        print(json.dumps(listing, indent=2))
+    finally:
+        if args.params:
+            deactivate_params()
     return 0
 
 
@@ -627,6 +929,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "search":
+        return _cmd_search(args, argv)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
     if args.command == "apps":
         return _cmd_apps(args)
     return 2

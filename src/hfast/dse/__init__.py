@@ -1,0 +1,34 @@
+"""Design-space exploration over the temporal interconnect evaluator.
+
+The subsystem treats the interconnect configuration knobs (circuits per
+node, reconfiguration cost, matcher backend, traffic-slice granularity)
+as search variables and the temporal evaluator as a fitness function:
+
+- :mod:`hfast.dse.space` — declarative, validated parameter space with
+  deterministic grid enumeration and seeded sampling.
+- :mod:`hfast.dse.pareto` — sense-aware dominance filtering and frontier
+  utilities.
+- :mod:`hfast.dse.search` — grid and evolutionary strategies; every
+  candidate evaluation is dispatched as a pipeline cell through the
+  existing serial / process-pool / work-stealing backends, so searches
+  shard, retry, journal, and resume exactly like analysis sweeps.
+- :mod:`hfast.dse.calibrate` — fits the LogGP ``APP_PARAMS`` compute
+  constants against the paper's %comm tables and emits a
+  provenance-stamped params artifact :mod:`hfast.timing` can consume.
+
+The repo throughline holds here too: the frontier artifact is a function
+of (workload, space, seed, strategy) alone — same inputs on any
+scheduler backend serialize byte-identically.
+"""
+
+from hfast.dse.pareto import Objective, dominates, pareto_frontier
+from hfast.dse.space import Candidate, SearchSpace, SpaceValidationError
+
+__all__ = [
+    "Candidate",
+    "Objective",
+    "SearchSpace",
+    "SpaceValidationError",
+    "dominates",
+    "pareto_frontier",
+]

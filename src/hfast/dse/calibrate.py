@@ -1,0 +1,174 @@
+"""Fit LogGP ``APP_PARAMS`` against the paper's %comm tables.
+
+The paper reports, per application and scale, the fraction of runtime
+spent in MPI communication. Our synthesized traces pin the *wire* side
+of that ratio (per-record LogGP times are deterministic and cached), so
+the one free knob that closes the loop is ``compute_step_s`` — the
+per-iteration compute cost that forms the denominator of %comm. Fitting
+only ``compute_step_s`` is deliberate: it never touches per-record wire
+times, so every cached trace document stays byte-valid after
+calibration; only the %comm summary column moves.
+
+The fit is closed-form. At a fixed scale, ``pct = 100 * c / (c + k*s)``
+where ``c`` is measured comm-per-rank, ``k`` the app's iteration count,
+and ``s`` the per-step compute time — so ``s = c * (100 - pct) /
+(pct * k)`` exactly hits the target at that scale. With targets at two
+scales the per-scale solutions are averaged, and the leftover per-scale
+error is reported as residuals in the artifact.
+
+The artifact (``kind: hfast-loggp-params``) is provenance-stamped (git
+SHA, timestamp, tool, targets) and consumed by
+:func:`hfast.timing.load_params_artifact` / ``activate_params``, which
+``hfast apps --params`` uses to overlay the calibrated values onto the
+defaults (with a per-app provenance column naming the artifact).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import math
+import os
+from dataclasses import replace
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from hfast.apps import synthesize
+from hfast.cache import DEFAULT_CACHE_DIR, ReproCache
+from hfast.obs.manifest import git_sha
+from hfast.timing import (
+    _STEP_KNOBS,
+    APP_PARAMS,
+    DEFAULT_TIMING_SEED,
+    PARAMS_ARTIFACT_FORMAT,
+    PARAMS_ARTIFACT_KIND,
+    LogGPParams,
+)
+
+# Transcribed from the paper's per-application communication breakdown
+# (Table: percentage of runtime in MPI communication at 64 and 256
+# processors). These are the calibration targets: the fit chooses each
+# app's compute_step_s so the model's %comm column reproduces them.
+PAPER_PCT_COMM: dict[str, dict[int, float]] = {
+    "cactus": {64: 12.9, 256: 15.7},
+    "gtc": {64: 7.4, 256: 9.2},
+    "lbmhd": {64: 18.6, 256: 22.3},
+    "paratec": {64: 41.0, 256: 53.6},
+}
+
+CALIBRATION_SCALES = (64, 256)
+
+
+def measured_comm_per_rank(
+    app: str,
+    nranks: int,
+    cache: ReproCache,
+    timing_seed: int = DEFAULT_TIMING_SEED,
+    store: bool = True,
+) -> float:
+    """Per-rank communication seconds for one cell, cache-first."""
+    trace = cache.load(app, nranks, None, timing_seed=timing_seed)
+    if trace is None:
+        trace = synthesize(app, nranks, None, timing_seed=timing_seed)
+        if store:
+            cache.store(trace)
+    trace.ensure_batch()
+    if trace.batch is not None and trace.batch.has_times:
+        comm_time_s = float(np.sum(trace.batch.total_time))
+    else:
+        comm_time_s = math.fsum(r.total_time for r in trace.records)
+    return comm_time_s / max(1, nranks)
+
+
+def predicted_pct(comm_per_rank: float, compute_s: float) -> float:
+    wall = comm_per_rank + compute_s
+    return 100.0 * comm_per_rank / wall if wall > 0 else 0.0
+
+
+def fit_compute_step(app: str, comm_by_scale: dict[int, float]) -> float:
+    """Closed-form per-step compute time matching the app's %comm targets.
+
+    Solves ``compute_step_s`` exactly at each target scale and averages —
+    for a two-point target the average minimizes the worst-case compute
+    error while keeping the solution order-independent.
+    """
+    targets = PAPER_PCT_COMM[app]
+    _key, steps = _STEP_KNOBS.get(app, ("steps", 10))
+    solutions = []
+    for nranks, pct in sorted(targets.items()):
+        comm = comm_by_scale[nranks]
+        # pct = 100*c/(c + k*s)  =>  s = c*(100-pct)/(pct*k)
+        solutions.append(comm * (100.0 - pct) / (pct * float(steps)))
+    return math.fsum(solutions) / len(solutions)
+
+
+def calibrate(
+    apps: list[str] | None = None,
+    cache_dir: str | os.PathLike = DEFAULT_CACHE_DIR,
+    timing_seed: int = DEFAULT_TIMING_SEED,
+    store: bool = True,
+) -> dict[str, Any]:
+    """Run the fit and return the params-artifact document.
+
+    Only ``compute_step_s`` moves; the wire-side params (L, o, g, G,
+    jitter) are carried through from the defaults so cached per-record
+    times remain authoritative.
+    """
+    chosen = sorted(apps) if apps else sorted(PAPER_PCT_COMM)
+    unknown = [a for a in chosen if a not in PAPER_PCT_COMM]
+    if unknown:
+        raise ValueError(f"no paper %comm targets for: {', '.join(unknown)}")
+    cache = ReproCache(cache_dir)
+    params_out: dict[str, dict[str, float]] = {}
+    residuals: dict[str, dict[str, dict[str, float]]] = {}
+    for app in chosen:
+        comm_by_scale = {
+            nranks: measured_comm_per_rank(app, nranks, cache, timing_seed, store)
+            for nranks in sorted(PAPER_PCT_COMM[app])
+        }
+        fitted_step = fit_compute_step(app, comm_by_scale)
+        base = APP_PARAMS.get(app, LogGPParams())
+        fitted = replace(base, compute_step_s=fitted_step)
+        params_out[app] = fitted.to_dict()
+        _knob, steps = _STEP_KNOBS.get(app, ("steps", 10))
+        compute_s = fitted_step * float(steps)
+        residuals[app] = {
+            str(nranks): {
+                "target_pct": PAPER_PCT_COMM[app][nranks],
+                "fitted_pct": round(predicted_pct(comm_by_scale[nranks], compute_s), 3),
+                "default_pct": round(
+                    predicted_pct(
+                        comm_by_scale[nranks], base.compute_step_s * float(steps)
+                    ),
+                    3,
+                ),
+            }
+            for nranks in sorted(PAPER_PCT_COMM[app])
+        }
+    return {
+        "format": PARAMS_ARTIFACT_FORMAT,
+        "kind": PARAMS_ARTIFACT_KIND,
+        "timing_seed": int(timing_seed),
+        "params": params_out,
+        "targets": {
+            app: {str(n): pct for n, pct in sorted(PAPER_PCT_COMM[app].items())}
+            for app in chosen
+        },
+        "residuals": residuals,
+        "provenance": {
+            "git_sha": git_sha(),
+            "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            "tool": "hfast calibrate",
+            "source": "paper %comm tables (64/256 processors)",
+        },
+    }
+
+
+def write_artifact(doc: dict[str, Any], path: str | os.PathLike) -> Path:
+    """Write the artifact with the repo's canonical JSON convention."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return out

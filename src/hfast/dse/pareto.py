@@ -1,0 +1,125 @@
+"""Pareto dominance filtering and frontier utilities.
+
+Objectives carry a *sense* (``min`` or ``max``); a point dominates
+another when it is no worse on every objective and strictly better on at
+least one. The frontier of a point set is the subset no other point
+dominates. Properties the test suite pins:
+
+- the frontier is mutually non-dominated;
+- every dropped point is dominated by at least one frontier point;
+- the frontier is insensitive to input order (the returned indices are
+  sorted, and the *set* of surviving points is permutation-invariant);
+- degenerate inputs behave: empty in, empty out; a single point is its
+  own frontier; all-equal points are mutually non-dominated, so all
+  survive.
+
+Everything operates on plain ``{objective_name: value}`` mappings so the
+search layer can attach whatever candidate metadata it likes alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+SENSES = ("min", "max")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One named optimization axis with its direction."""
+
+    name: str
+    sense: str = "min"
+
+    def __post_init__(self) -> None:
+        if self.sense not in SENSES:
+            raise ValueError(f"objective {self.name!r}: sense must be one of {SENSES}")
+
+    def ascending(self, value: float) -> float:
+        """Map a raw value onto a minimized orientation for comparisons."""
+        return -float(value) if self.sense == "max" else float(value)
+
+
+def normalize(point: Mapping[str, float], objectives: Sequence[Objective]) -> tuple[float, ...]:
+    """A point's objective vector in minimized orientation (for sorting)."""
+    return tuple(obj.ascending(point[obj.name]) for obj in objectives)
+
+
+def dominates(
+    a: Mapping[str, float], b: Mapping[str, float], objectives: Sequence[Objective]
+) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and better somewhere."""
+    better = False
+    for obj in objectives:
+        va, vb = obj.ascending(a[obj.name]), obj.ascending(b[obj.name])
+        if va > vb:
+            return False
+        if va < vb:
+            better = True
+    return better
+
+
+def frontier_indices(
+    points: Sequence[Mapping[str, float]], objectives: Sequence[Objective]
+) -> list[int]:
+    """Indices of the non-dominated points, ascending.
+
+    O(n^2) pairwise filtering — candidate populations are small (tens to
+    a few hundred), and the simple form keeps the order-insensitivity
+    property obvious: membership depends only on pairwise comparisons.
+    """
+    vecs = [normalize(p, objectives) for p in points]
+    kept: list[int] = []
+    for i, vi in enumerate(vecs):
+        dominated = False
+        for j, vj in enumerate(vecs):
+            if i == j:
+                continue
+            # vj dominates vi?
+            if all(b <= a for a, b in zip(vi, vj)) and any(b < a for a, b in zip(vi, vj)):
+                dominated = True
+                break
+        if not dominated:
+            kept.append(i)
+    return kept
+
+
+def pareto_frontier(
+    points: Sequence[Mapping[str, float]], objectives: Sequence[Objective]
+) -> tuple[list[int], list[int]]:
+    """(frontier_indices, dominated_indices), both ascending."""
+    kept = frontier_indices(points, objectives)
+    kept_set = set(kept)
+    return kept, [i for i in range(len(points)) if i not in kept_set]
+
+
+def pareto_rank(
+    points: Sequence[Mapping[str, float]], objectives: Sequence[Objective]
+) -> list[int]:
+    """Non-dominated sorting rank per point (0 = frontier, 1 = next layer, ...).
+
+    Used by the evolutionary strategy's parent selection. Deterministic:
+    ranks depend only on the point values.
+    """
+    ranks = [-1] * len(points)
+    remaining = list(range(len(points)))
+    layer = 0
+    while remaining:
+        subset = [points[i] for i in remaining]
+        kept = frontier_indices(subset, objectives)
+        kept_orig = {remaining[k] for k in kept}
+        for i in kept_orig:
+            ranks[i] = layer
+        remaining = [i for i in remaining if i not in kept_orig]
+        layer += 1
+    return ranks
+
+
+def sort_key(
+    point: Mapping[str, Any], objectives: Sequence[Objective]
+) -> tuple:
+    """Canonical total order for frontier serialization: objective vector
+    in minimized orientation, which makes the artifact independent of the
+    order candidates happened to be evaluated in."""
+    return normalize(point, objectives)

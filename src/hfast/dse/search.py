@@ -1,0 +1,538 @@
+"""Design-space search over the temporal interconnect evaluator.
+
+A :class:`SearchSpec` fixes one workload (app, nranks, synthesis
+backend, timing seed), a :class:`~hfast.dse.space.SearchSpace`, and a
+strategy; :func:`run_search` evaluates candidates and returns the
+Pareto frontier over four objectives:
+
+- ``coverage`` (max) — fraction of traffic carried on circuits;
+- ``packet_bytes`` (min) — bytes falling back to the packet fabric;
+- ``reconfig_s`` (min) — total reconfiguration seconds charged;
+- ``eval_cost`` (min) — the analytic evaluation cost
+  (:func:`hfast.sched.cost.estimate_candidate_cost`), the deterministic
+  stand-in for evaluation wall time. Measured wall times are recorded
+  too, but only in side-channel fields outside the frontier artifact.
+
+Each candidate evaluation is one pipeline cell: the exact payload shape
+:func:`hfast.pipeline.execute_cell` runs for analysis sweeps, with the
+candidate's interconnect config swapped in. Cells dispatch through the
+same three backends as ``run_pipeline`` — serial, process pool, or the
+work-stealing scheduler — so searches shard, retry, journal, and
+``resume=<run-id>`` without any search-specific machinery. Candidate
+results merge in candidate-definition order, making the frontier
+artifact (`frontier_bytes`) byte-identical across backends; repeated
+trace synthesis is free after the first candidate because every
+candidate of a workload shares one repro-cache entry.
+
+Strategies:
+
+- ``grid`` — exhaustive enumeration in canonical dimension order.
+- ``evolution`` — seeded initial population, Pareto-rank parent
+  selection with canonical tie-breaks, and hash-driven mutation; every
+  stochastic choice is a splitmix64 function of (seed, generation,
+  stream), so fixed seed means a fixed candidate sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from hfast.apps import APPS, BACKENDS, DEFAULT_BACKEND
+from hfast.cache import DEFAULT_CACHE_DIR
+from hfast.dse.pareto import Objective, pareto_frontier, pareto_rank, sort_key
+from hfast.dse.space import Candidate, SearchSpace
+from hfast.interconnect import InterconnectConfig
+from hfast.obs.manifest import build_manifest
+from hfast.obs.profile import Observability, get_obs
+from hfast.pipeline import SCHEDULERS, execute_cell, graft_cell
+from hfast.sched.cost import CostModel, estimate_candidate_cost
+from hfast.sched.journal import (
+    RunJournal,
+    build_fingerprint,
+    journal_dir_for,
+    new_run_id,
+)
+from hfast.sched.scheduler import SchedulerConfig, run_stealing
+from hfast.timing import DEFAULT_TIMING_SEED, mix64
+
+FRONTIER_FORMAT = 1
+FRONTIER_KIND = "hfast-dse-frontier"
+STRATEGIES = ("grid", "evolution")
+MAX_NRANKS = 1 << 20
+MAX_POPULATION = 4096
+MAX_GENERATIONS = 64
+
+#: The frontier's objective set, in canonical order.
+OBJECTIVES = (
+    Objective("coverage", "max"),
+    Objective("packet_bytes", "min"),
+    Objective("reconfig_s", "min"),
+    Objective("eval_cost", "min"),
+)
+
+# Decouples the evolutionary mutation stream from initial sampling.
+_MUTATE_STREAM = 0xD5E_5EED
+
+# Scheduler stats that accumulate across an evolutionary search's
+# per-generation run_stealing batches (vs config values that assign).
+_SUM_STATS = frozenset(
+    {
+        "tasks_dispatched",
+        "steals",
+        "retries",
+        "redispatches",
+        "workers_spawned",
+        "workers_lost",
+        "cells_from_journal",
+    }
+)
+
+
+class SearchSpecError(ValueError):
+    """A search spec failed validation; ``errors`` lists every problem."""
+
+    def __init__(self, errors: list[str]):
+        self.errors = list(errors)
+        super().__init__("; ".join(errors))
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """One validated search request: workload + space + strategy."""
+
+    app: str
+    nranks: int
+    space: SearchSpace = field(default_factory=SearchSpace)
+    strategy: str = "grid"
+    seed: int = 0
+    population: int = 8
+    generations: int = 3
+    backend: str = DEFAULT_BACKEND
+    timing_seed: int = DEFAULT_TIMING_SEED
+
+    def __post_init__(self) -> None:
+        errors: list[str] = []
+        if not isinstance(self.app, str) or self.app not in APPS:
+            errors.append(f"app: unknown app {self.app!r} (expected one of {sorted(APPS)})")
+        if not isinstance(self.nranks, int) or not 1 <= self.nranks <= MAX_NRANKS:
+            errors.append(f"nranks: expected an integer in [1, {MAX_NRANKS}], got {self.nranks!r}")
+        if self.strategy not in STRATEGIES:
+            errors.append(f"strategy: expected one of {STRATEGIES}, got {self.strategy!r}")
+        if self.backend not in BACKENDS:
+            errors.append(f"backend: expected one of {BACKENDS}, got {self.backend!r}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            errors.append(f"seed: expected an integer, got {self.seed!r}")
+        if not isinstance(self.population, int) or not 1 <= self.population <= MAX_POPULATION:
+            errors.append(
+                f"population: expected an integer in [1, {MAX_POPULATION}], "
+                f"got {self.population!r}"
+            )
+        if not isinstance(self.generations, int) or not 1 <= self.generations <= MAX_GENERATIONS:
+            errors.append(
+                f"generations: expected an integer in [1, {MAX_GENERATIONS}], "
+                f"got {self.generations!r}"
+            )
+        if errors:
+            raise SearchSpecError(errors)
+
+    def canonical_doc(self) -> dict[str, Any]:
+        return {
+            "format": FRONTIER_FORMAT,
+            "app": self.app,
+            "nranks": self.nranks,
+            "backend": self.backend,
+            "timing_seed": self.timing_seed,
+            "space": self.space.to_doc(),
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "population": self.population,
+            "generations": self.generations,
+        }
+
+    @property
+    def key(self) -> str:
+        """Content address of the search: sha256 of the canonical doc."""
+        payload = json.dumps(self.canonical_doc(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CandidateCell:
+    """A candidate evaluation shaped like a pipeline cell.
+
+    Carries the ``app``/``nranks``/``index`` attributes the schedulers
+    and journal key on; ``index`` is unique across the whole search
+    (all generations), so one run journal covers every batch.
+    """
+
+    app: str
+    nranks: int
+    index: int
+    cand: Candidate
+
+    @property
+    def key(self) -> str:
+        return f"{self.app}_p{self.nranks}"
+
+
+def objectives_for(
+    cand: Candidate, summary: dict[str, Any], app: str, nranks: int
+) -> dict[str, float]:
+    """The frontier's objective vector for one evaluated candidate."""
+    tmp = summary["interconnect_temporal"]
+    return {
+        "coverage": tmp["coverage"],
+        "packet_bytes": tmp["packet_bytes"],
+        "reconfig_s": round(tmp["n_reconfigs"] * cand.reconfig_cost, 9),
+        "eval_cost": round(
+            estimate_candidate_cost(app, nranks, cand.matcher, cand.timesteps), 6
+        ),
+    }
+
+
+def frontier_bytes(doc: dict[str, Any]) -> bytes:
+    """Canonical serialization of a frontier document.
+
+    Exactly the result-store serialization (``sort_keys`` + trailing
+    newline), so a CLI ``--out`` file and a served
+    ``GET /v1/results/<key>`` body are byte-for-byte the same artifact.
+    """
+    return (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+
+def run_search(
+    spec: SearchSpec,
+    cache_dir: str = DEFAULT_CACHE_DIR,
+    obs: Observability | None = None,
+    store: bool = True,
+    argv: list[str] | None = None,
+    workers: int = 1,
+    scheduler: str = "static",
+    max_retries: int = 2,
+    heartbeat_timeout: float = 30.0,
+    retry_backoff: float = 0.05,
+    journal_dir: str | None = None,
+    resume: str | None = None,
+    run_id: str | None = None,
+    bench_dir: str | None = ".",
+    base_config: InterconnectConfig | None = None,
+) -> dict[str, Any]:
+    """Run one design-space search; returns {frontier, manifest, ...}.
+
+    The ``frontier`` document is a pure function of the spec: same
+    workload + space + seed + strategy produce byte-identical
+    :func:`frontier_bytes` on every scheduler backend — candidate
+    results merge in definition order, the evaluation-cost objective is
+    analytic, and measured wall times live only in the side-channel
+    ``evaluations`` / manifest fields.
+
+    ``scheduler="stealing"`` journals candidate completions under the
+    search's fingerprint; ``resume=<run-id>`` replays evaluated
+    candidates (across *all* generations of an evolutionary search,
+    since candidate indices are globally unique) and executes only what
+    is missing. ``base_config`` supplies the non-searched interconnect
+    knobs (bandwidths, latencies, slice seed); searched dimensions are
+    always taken from the candidate.
+    """
+    if scheduler not in SCHEDULERS:
+        raise ValueError(f"unknown scheduler '{scheduler}' (expected one of {SCHEDULERS})")
+    if resume is not None and scheduler != "stealing":
+        raise ValueError("resume requires scheduler='stealing'")
+    obs = obs if obs is not None else get_obs()
+    t_run0 = time.perf_counter()
+
+    sched_info: dict[str, Any] = {"backend": scheduler}
+    journal: RunJournal | None = None
+    if scheduler == "stealing":
+        fingerprint = build_fingerprint(
+            [spec.app],
+            {spec.app: [spec.nranks]},
+            cache_dir,
+            spec.backend,
+            spec.timing_seed,
+            store,
+            {"dse_search": spec.key},
+            None,
+        )
+        jdir = journal_dir_for(cache_dir, journal_dir)
+        if resume is not None:
+            journal = RunJournal.load(jdir, resume)
+            journal.check_fingerprint(fingerprint)
+            run_id = resume
+        else:
+            run_id = run_id or new_run_id()
+            journal = RunJournal.create(jdir, run_id, fingerprint)
+        sched_info["run_id"] = run_id
+        sched_info["resumed"] = resume is not None
+
+    dse_provenance = {
+        "search_key": spec.key,
+        "space_key": spec.space.key,
+        "strategy": spec.strategy,
+        "seed": spec.seed,
+        "space_size": spec.space.size,
+    }
+    manifest = build_manifest(
+        [spec.app],
+        {spec.app: [spec.nranks]},
+        argv=argv,
+        workers=workers,
+        scheduler=sched_info,
+        dse=dse_provenance,
+    )
+    obs.tracer.emit_event("manifest", manifest)
+
+    cost_model = CostModel.from_bench_dir(bench_dir) if scheduler == "stealing" else None
+
+    # Evaluation memo: candidate key -> record. A candidate re-proposed
+    # by a later generation is never re-evaluated; definition order of
+    # first proposal fixes its cell index (and therefore its journal
+    # slot) deterministically.
+    evaluated: dict[str, dict[str, Any]] = {}
+    cells_by_index: dict[int, CandidateCell] = {}
+    next_index = 0
+    eval_reports: list[dict[str, Any]] = []
+
+    def payload_for(cell: CandidateCell) -> dict[str, Any]:
+        return {
+            "app": cell.app,
+            "nranks": cell.nranks,
+            "index": cell.index,
+            "cache_dir": cache_dir,
+            "config": cell.cand.config(base_config),
+            "store": store,
+            "backend": spec.backend,
+            "timing_seed": spec.timing_seed,
+            "profiled": obs.enabled,
+            "live": False,
+            "ctx": None,
+        }
+
+    def merge_one(res: dict[str, Any]) -> None:
+        cell = cells_by_index[res["index"]]
+        cand = cell.cand
+        graft_cell(
+            obs, res, root_id,
+            span_name="candidate",
+            extra_attrs={"candidate": cand.key},
+        )
+        if obs.enabled:
+            obs.metrics.merge_snapshot(res["metrics"])
+        record: dict[str, Any] = {
+            "cand": cand,
+            "index": res["index"],
+            "ok": bool(res["ok"]),
+            "error": res.get("error"),
+            "attempts": res.get("attempts", 1),
+            "wall_s": res.get("wall_s", 0.0),
+        }
+        if res["ok"] and res.get("summary") is not None:
+            record["objectives"] = objectives_for(
+                cand, res["summary"], spec.app, spec.nranks
+            )
+        evaluated[cand.key] = record
+        eval_reports.append(
+            {
+                "app": res["app"],
+                "nranks": res["nranks"],
+                "candidate": cand.key,
+                "ok": record["ok"],
+                "wall_s": round(record["wall_s"], 6),
+                "error": record["error"],
+                "attempts": record["attempts"],
+            }
+        )
+
+    def evaluate_batch(novel: list[Candidate]) -> None:
+        nonlocal next_index
+        cells: list[CandidateCell] = []
+        for cand in novel:
+            cell = CandidateCell(spec.app, spec.nranks, next_index, cand)
+            cells_by_index[next_index] = cell
+            cells.append(cell)
+            next_index += 1
+        if not cells:
+            return
+        if scheduler == "stealing":
+            sched_cfg = SchedulerConfig(
+                workers=max(1, workers),
+                max_retries=max_retries,
+                heartbeat_timeout=heartbeat_timeout,
+                retry_backoff=retry_backoff,
+            )
+            raw, stats = run_stealing(
+                cells,
+                lambda cell, attempt: payload_for(cell),
+                execute_cell,
+                sched_cfg,
+                cost_model=cost_model,
+                obs=obs,
+                journal=journal,
+            )
+            raw = list(raw)
+            # Aggregate scheduler counters across generation batches;
+            # configuration-ish stats (workers, timeouts) just assign.
+            for k, v in stats.items():
+                if k in _SUM_STATS:
+                    sched_info[k] = sched_info.get(k, 0) + v
+                elif k == "max_queue_depth":
+                    sched_info[k] = max(sched_info.get(k, 0), v)
+                else:
+                    sched_info[k] = v
+            sched_info["journal"] = str(journal.path) if journal is not None else None
+        elif workers <= 1 or len(cells) <= 1:
+            raw = [execute_cell(payload_for(cell)) for cell in cells]
+        else:
+            payloads = [payload_for(cell) for cell in cells]
+            with ProcessPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+                raw = list(pool.map(execute_cell, payloads))
+        raw.sort(key=lambda r: r["index"])
+        for res in raw:
+            merge_one(res)
+
+    root_id: int | None = None
+    with obs.tracer.span(
+        "dse_search",
+        app=spec.app,
+        nranks=spec.nranks,
+        strategy=spec.strategy,
+        space=spec.space.size,
+    ) as sp:
+        root_id = getattr(sp, "span_id", None)
+        if spec.strategy == "grid":
+            evaluate_batch(spec.space.grid())
+        else:
+            _run_evolution(spec, evaluated, evaluate_batch)
+
+    # Deterministic frontier over every successful evaluation.
+    records = sorted(
+        (r for r in evaluated.values() if r["ok"] and "objectives" in r),
+        key=lambda r: r["index"],
+    )
+    points = [r["objectives"] for r in records]
+    kept, dropped = pareto_frontier(points, OBJECTIVES)
+    entries = [
+        {
+            "id": records[i]["cand"].key,
+            "candidate": records[i]["cand"].to_doc(),
+            "objectives": records[i]["objectives"],
+        }
+        for i in kept
+    ]
+    entries.sort(key=lambda e: (sort_key(e["objectives"], OBJECTIVES), e["id"]))
+    failures = sorted(
+        (
+            {"id": r["cand"].key, "candidate": r["cand"].to_doc(), "error": r["error"]}
+            for r in evaluated.values()
+            if not r["ok"]
+        ),
+        key=lambda f: f["id"],
+    )
+    frontier_doc: dict[str, Any] = {
+        "format": FRONTIER_FORMAT,
+        "kind": FRONTIER_KIND,
+        "search_key": spec.key,
+        "workload": {
+            "app": spec.app,
+            "nranks": spec.nranks,
+            "backend": spec.backend,
+            "timing_seed": spec.timing_seed,
+        },
+        "space": spec.space.to_doc(),
+        "space_key": spec.space.key,
+        "strategy": spec.strategy,
+        "seed": spec.seed,
+        "objectives": [{"name": o.name, "sense": o.sense} for o in OBJECTIVES],
+        "evaluated": len(evaluated),
+        "dominated": len(dropped),
+        "frontier": entries,
+        "failed": failures,
+    }
+    obs.tracer.emit_event("dse_frontier", frontier_doc)
+
+    manifest["cells"] = eval_reports
+    manifest["failed_cells"] = [
+        f"{spec.app}_p{spec.nranks}#{c['candidate']}" for c in eval_reports if not c["ok"]
+    ]
+    manifest["scheduler"] = sched_info
+    obs.tracer.emit_event("manifest", manifest)
+
+    return {
+        "frontier": frontier_doc,
+        "manifest": manifest,
+        "sched": sched_info,
+        # Side-channel (wall-clock-derived, outside the byte-identity
+        # contract), mirroring wall_s/cell_timing elsewhere.
+        "evaluations": eval_reports,
+        "wall_s": time.perf_counter() - t_run0,
+    }
+
+
+def _run_evolution(
+    spec: SearchSpec,
+    evaluated: dict[str, dict[str, Any]],
+    evaluate_batch,
+) -> None:
+    """Deterministic (mu + lambda)-style evolutionary loop.
+
+    Parent selection sorts the current population by (Pareto rank,
+    canonical objective vector, candidate id) — a total order, so ties
+    never depend on evaluation timing. Mutation streams are keyed on
+    (seed, generation, offspring slot), making the entire candidate
+    sequence a pure function of the spec.
+    """
+    population = spec.space.sample(spec.population, spec.seed)
+    mutate_seed = mix64(spec.seed ^ _MUTATE_STREAM)
+    for gen in range(spec.generations):
+        novel: list[Candidate] = []
+        seen_batch: set[str] = set()
+        for cand in population:
+            if cand.key not in evaluated and cand.key not in seen_batch:
+                novel.append(cand)
+                seen_batch.add(cand.key)
+        evaluate_batch(novel)
+        if gen == spec.generations - 1:
+            break
+        ok_records = [
+            evaluated[c.key]
+            for c in _unique(population)
+            if evaluated[c.key]["ok"] and "objectives" in evaluated[c.key]
+        ]
+        if not ok_records:
+            # Every candidate failed: fall back to a fresh sample drawn
+            # from a generation-specific stream.
+            population = spec.space.sample(spec.population, mix64(spec.seed ^ (gen + 1)))
+            continue
+        ranks = pareto_rank([r["objectives"] for r in ok_records], OBJECTIVES)
+        order = sorted(
+            range(len(ok_records)),
+            key=lambda i: (
+                ranks[i],
+                sort_key(ok_records[i]["objectives"], OBJECTIVES),
+                ok_records[i]["cand"].key,
+            ),
+        )
+        n_parents = max(1, spec.population // 2)
+        parents = [ok_records[i]["cand"] for i in order[:n_parents]]
+        offspring = [
+            spec.space.mutate(
+                parents[slot % len(parents)], mutate_seed, (gen << 16) | slot
+            )
+            for slot in range(spec.population - len(parents))
+        ]
+        population = parents + offspring
+
+
+def _unique(cands: list[Candidate]) -> list[Candidate]:
+    seen: set[str] = set()
+    out: list[Candidate] = []
+    for c in cands:
+        if c.key not in seen:
+            seen.add(c.key)
+            out.append(c)
+    return out

@@ -41,6 +41,7 @@ def build_manifest(
     scheduler: dict[str, Any] | None = None,
     matcher: str | None = None,
     service: dict[str, Any] | None = None,
+    dse: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     return {
         "git_sha": git_sha(cwd),
@@ -63,6 +64,10 @@ def build_manifest(
         # and content-addressed result key, so a served artifact is
         # traceable back to the exact HTTP submission that produced it.
         "service": dict(service) if service else None,
+        # Set for design-space searches: the search/space content keys,
+        # strategy, and seed, so a frontier artifact is traceable to the
+        # exact spec that produced it.
+        "dse": dict(dse) if dse else None,
         # Filled in when the run completes:
         "cache": None,
         "cells": None,

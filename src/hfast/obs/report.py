@@ -26,6 +26,7 @@ def build_report(events: list[dict[str, Any]]) -> dict[str, Any]:
     manifest: dict[str, Any] | None = None
     runs: list[dict[str, Any]] = []
     anomalies: list[dict[str, Any]] = []
+    frontiers: list[dict[str, Any]] = []
     stage_wall: dict[str, float] = defaultdict(float)
     stage_calls: dict[str, int] = defaultdict(int)
     peak_rss = 0
@@ -42,6 +43,8 @@ def build_report(events: list[dict[str, Any]]) -> dict[str, Any]:
             runs.append({k: v for k, v in ev.items() if k not in structural})
         elif kind == "anomaly":
             anomalies.append({k: v for k, v in ev.items() if k not in structural})
+        elif kind == "dse_frontier":
+            frontiers.append({k: v for k, v in ev.items() if k not in structural})
         elif kind == "span":
             stage_wall[ev["name"]] += ev.get("wall_s", 0.0)
             stage_calls[ev["name"]] += 1
@@ -65,6 +68,10 @@ def build_report(events: list[dict[str, Any]]) -> dict[str, Any]:
         "manifest": manifest,
         "runs": runs,
         "anomalies": anomalies,
+        # Design-space search results (one entry per dse_frontier event):
+        # the full frontier artifact document, byte-identical across
+        # scheduler backends by the DSE determinism contract.
+        "frontiers": frontiers,
         "profile": {
             "total_wall_s": round(total_wall, 6),
             "peak_rss_kb": peak_rss,
@@ -209,6 +216,42 @@ def render_markdown(report: dict[str, Any]) -> str:
             for entry in peers:
                 lines.append(
                     f"| {entry['rank']} | {entry['peer']} | {_fmt_bytes(entry['bytes'])} |"
+                )
+            lines.append("")
+
+    for fr in report.get("frontiers") or []:
+        wl = fr.get("workload") or {}
+        lines.append("## Design-space frontier")
+        lines.append("")
+        lines += [
+            f"- **workload:** {wl.get('app', '?')} @ {wl.get('nranks', '?')} ranks",
+            f"- **strategy:** {fr.get('strategy', '?')} (seed {fr.get('seed', 0)})",
+            f"- **search key:** `{fr.get('search_key', '?')}` "
+            f"(space `{fr.get('space_key', '?')}`)",
+            f"- **candidates:** {fr.get('evaluated', 0)} evaluated, "
+            f"{len(fr.get('frontier') or [])} on the frontier, "
+            f"{fr.get('dominated', 0)} dominated, "
+            f"{len(fr.get('failed') or [])} failed",
+            "",
+        ]
+        points = fr.get("frontier") or []
+        if points:
+            lines.append(
+                "| id | circuits | reconfig cost (s) | matcher | steps "
+                "| coverage | packet bytes | reconfig (s) | eval cost |"
+            )
+            lines.append("|---:|---:|---:|---|---:|---:|---:|---:|---:|")
+            for p in points:
+                cand = p.get("candidate") or {}
+                objs = p.get("objectives") or {}
+                lines.append(
+                    f"| {p.get('id', '?')} | {cand.get('circuits_per_node', '?')} "
+                    f"| {cand.get('reconfig_cost', 0):g} "
+                    f"| {cand.get('matcher', '?')} | {cand.get('timesteps', '?')} "
+                    f"| {100 * objs.get('coverage', 0):.1f}% "
+                    f"| {_fmt_bytes(objs.get('packet_bytes', 0))} "
+                    f"| {objs.get('reconfig_s', 0):g} "
+                    f"| {objs.get('eval_cost', 0):.1f} |"
                 )
             lines.append("")
 

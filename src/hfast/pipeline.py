@@ -337,7 +337,13 @@ def _execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
     }
 
 
-def _graft_cell(obs: Observability, res: dict[str, Any], root_id: int | None) -> None:
+def _graft_cell(
+    obs: Observability,
+    res: dict[str, Any],
+    root_id: int | None,
+    span_name: str = "cell",
+    extra_attrs: dict[str, Any] | None = None,
+) -> None:
     """Re-emit a cell's events under a synthetic ``cell`` span.
 
     Every attempt's events (failed prior attempts included) are remapped
@@ -350,6 +356,11 @@ def _graft_cell(obs: Observability, res: dict[str, Any], root_id: int | None) ->
     Empty attempt batches (faults that fired before any span was emitted)
     graft nothing and reserve no ids, so fault-injected runs keep the
     exact span numbering of a clean run.
+
+    ``span_name``/``extra_attrs`` let other cell-shaped workloads (the
+    DSE search grafts per-candidate subtrees as ``candidate`` spans)
+    reuse the same remapping; the defaults preserve the analysis
+    pipeline's trace shape bit-for-bit.
     """
     if not obs.enabled:
         return
@@ -385,23 +396,33 @@ def _graft_cell(obs: Observability, res: dict[str, Any], root_id: int | None) ->
                 # their cell so the trace tree covers every event.
                 ev.setdefault("parent_id", cell_span_id)
             tracer.emit_event(kind, ev)
+    attrs: dict[str, Any] = {
+        "app": res["app"],
+        "nranks": res["nranks"],
+        "attempts": res.get("attempts", 1),
+        "ok": bool(res.get("ok")),
+    }
+    if extra_attrs:
+        attrs.update(extra_attrs)
     tracer.emit_event(
         "span",
         {
-            "name": "cell",
+            "name": span_name,
             "span_id": cell_span_id,
             "parent_id": root_id,
             "depth": 1,
             "wall_s": res.get("wall_s", 0.0),
             "peak_rss_kb": 0,
-            "attrs": {
-                "app": res["app"],
-                "nranks": res["nranks"],
-                "attempts": res.get("attempts", 1),
-                "ok": bool(res.get("ok")),
-            },
+            "attrs": attrs,
         },
     )
+
+
+# Public aliases: the DSE search layer dispatches candidate evaluations
+# through the exact cell harness and trace graft above, so candidates
+# inherit the worker/caching/retry semantics of analysis cells verbatim.
+execute_cell = _execute_cell
+graft_cell = _graft_cell
 
 
 def _merge_cache_stats(target: CacheStats, snap: dict[str, Any]) -> None:

@@ -11,6 +11,13 @@ content-addressed result back:
   already finished is answered straight from the result store, and new
   work is admitted against a bounded budget (``429`` + ``Retry-After``
   past it).
+- ``POST /v1/sweeps`` — submit a design-space search as a single job:
+  the daemon fans the sweep into candidate evaluations through
+  :func:`hfast.dse.search.run_search` and content-addresses the Pareto
+  frontier artifact under the search's key, byte-identical to a direct
+  ``hfast search --out`` run of the same spec. Sweeps share the analyze
+  jobs' admission ladder (dedupe, cached answers, backpressure), ledger
+  recovery, and journal-backed resume.
 - ``GET /v1/jobs/<id>`` — job status, scheduler stats, error detail.
 - ``GET /v1/results/<key>`` — the stored artifact, byte-for-byte the
   same JSON a direct ``hfast analyze`` run would produce for that spec.
@@ -57,7 +64,13 @@ from hfast.obs.stream import EventBus, RingLog
 from hfast.obs.trace import JsonlSink
 from hfast.pipeline import run_pipeline
 from hfast.sched.journal import JournalError, has_journal, new_run_id
-from hfast.serve.jobspec import JobSpec, JobValidationError, canonicalize
+from hfast.serve.jobspec import (
+    JobSpec,
+    JobValidationError,
+    SweepSpec,
+    canonicalize,
+    canonicalize_sweep,
+)
 from hfast.serve.store import JobLedger, ResultStore
 
 PROTOCOL = "HTTP/1.1"
@@ -94,6 +107,9 @@ class ServeConfig:
     trace_out: str | None = None
     store: bool = True
     bench_dir: str | None = None
+    # LRU byte budget for the result store (None = unbounded); evictions
+    # increment the serve.store_evictions_total counter.
+    store_max_bytes: int | None = None
 
 
 @dataclass
@@ -101,9 +117,10 @@ class Job:
     """In-memory lifecycle record for one admitted submission."""
 
     job_id: str
-    spec: JobSpec
+    spec: JobSpec | SweepSpec
     key: str
     run_id: str
+    kind: str = "analyze"  # "analyze" (POST /v1/jobs) or "sweep" (POST /v1/sweeps)
     status: str = "queued"
     error: str | None = None
     resume: str | None = None
@@ -119,6 +136,7 @@ class Job:
             "job_id": self.job_id,
             "key": self.key,
             "cell": self.spec.cell_key,
+            "kind": self.kind,
             "status": self.status,
             "run_id": self.run_id,
             "recovered": self.recovered,
@@ -147,16 +165,21 @@ class AnalysisService:
     def __init__(self, config: ServeConfig):
         self.config = config
         root = Path(config.serve_dir)
-        self.store = ResultStore(root / "results")
-        self.ledger = JobLedger(root / "jobs")
-        self.journal_dir = root / "journal"
-        self.journal_dir.mkdir(parents=True, exist_ok=True)
 
         # Service-level counters/gauges; pipeline metrics accumulate
         # separately so a scrape distinguishes "what the daemon did" from
         # "what the analyses did".
         self.metrics = MetricsRegistry(enabled=True)
         self.pipeline_metrics = MetricsRegistry(enabled=True)
+
+        self.store = ResultStore(
+            root / "results",
+            max_bytes=config.store_max_bytes,
+            on_evict=lambda _key: self.metrics.counter("serve.store_evictions_total").inc(),
+        )
+        self.ledger = JobLedger(root / "jobs")
+        self.journal_dir = root / "journal"
+        self.journal_dir.mkdir(parents=True, exist_ok=True)
         self.bus = EventBus()
         self.ring = RingLog(capacity=512)
         self.bus.subscribe(self.ring.handle)
@@ -192,8 +215,12 @@ class AnalysisService:
     def _recover(self) -> None:
         """Re-admit jobs a previous daemon left unfinished."""
         for rec in self.ledger.unfinished():
+            kind = rec.get("kind") or "analyze"
             try:
-                spec = canonicalize(rec.get("spec"))
+                if kind == "sweep":
+                    spec: JobSpec | SweepSpec = canonicalize_sweep(rec.get("spec"))
+                else:
+                    spec = canonicalize(rec.get("spec"))
             except JobValidationError as exc:
                 rec.update(status="failed", error=f"unrecoverable spec: {exc}")
                 self.ledger.write(rec)
@@ -210,6 +237,7 @@ class AnalysisService:
                 spec=spec,
                 key=spec.key,
                 run_id=rec.get("run_id") or new_run_id(),
+                kind=kind,
                 recovered=True,
             )
             if self.config.scheduler == "stealing" and has_journal(
@@ -245,8 +273,10 @@ class AnalysisService:
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
-    def _submit(self, payload: Any) -> tuple[int, dict[str, Any], dict[str, str]]:
-        """Admission decision for one POST /v1/jobs body."""
+    def _submit(
+        self, payload: Any, kind: str = "analyze"
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Admission decision for one POST /v1/jobs or /v1/sweeps body."""
         if self._draining:
             return (
                 503,
@@ -254,7 +284,10 @@ class AnalysisService:
                 {"Retry-After": "5"},
             )
         try:
-            spec = canonicalize(payload)
+            if kind == "sweep":
+                spec: JobSpec | SweepSpec = canonicalize_sweep(payload)
+            else:
+                spec = canonicalize(payload)
         except JobValidationError as exc:
             return 400, {"error": "validation failed", "errors": exc.errors}, {}
         self.metrics.counter("serve.jobs_submitted").inc()
@@ -290,7 +323,7 @@ class AnalysisService:
                 {"Retry-After": "1"},
             )
 
-        job = Job(job_id=new_run_id(), spec=spec, key=key, run_id=new_run_id())
+        job = Job(job_id=new_run_id(), spec=spec, key=key, run_id=new_run_id(), kind=kind)
         self._admit_job(job)
         return 202, job.doc(), {}
 
@@ -322,9 +355,10 @@ class AnalysisService:
 
         keep_events = self._trace_obs.enabled
         job_obs = Observability(enabled=True, keep_events=keep_events)
+        runner = self._run_sweep_once if job.kind == "sweep" else self._run_pipeline_once
         out: dict[str, Any] | None = None
         try:
-            out = self._run_pipeline_once(job, job_obs)
+            out = runner(job, job_obs)
         except JournalError as exc:
             # The journal for a recovered run id is unusable (torn header,
             # fingerprint drift across a config change). Fall back to a
@@ -336,7 +370,7 @@ class AnalysisService:
                     {"event": "job_resume_fallback", "job_id": job.job_id, "error": str(exc)}
                 )
                 try:
-                    out = self._run_pipeline_once(job, job_obs)
+                    out = runner(job, job_obs)
                 except Exception as retry_exc:  # noqa: BLE001 - job boundary
                     job.error = f"{type(retry_exc).__name__}: {retry_exc}"
             else:
@@ -351,7 +385,18 @@ class AnalysisService:
             if cells:
                 job.attempts = max(int(c.get("attempts", 1)) for c in cells)
             failed = manifest.get("failed_cells") or []
-            if failed:
+            if job.kind == "sweep":
+                # A sweep succeeds as long as any candidate evaluated: the
+                # frontier artifact itself records per-candidate failures.
+                frontier = out.get("frontier") or {}
+                if not frontier.get("evaluated"):
+                    job.error = f"all candidate evaluations failed ({', '.join(failed)})"
+                else:
+                    # store.put serializes with sort_keys + trailing newline,
+                    # exactly frontier_bytes() — so GET /v1/results/<key>
+                    # is byte-identical to `hfast search --out`.
+                    self.store.put(job.key, frontier)
+            elif failed:
                 detail = "; ".join(
                     f"{c.get('app')}_p{c.get('nranks')}: {c.get('error')}"
                     for c in cells
@@ -404,6 +449,27 @@ class AnalysisService:
                 bench_dir=self.config.bench_dir,
             )
 
+    def _run_sweep_once(self, job: Job, job_obs: Observability) -> dict[str, Any]:
+        # Sweep payloads only reach this daemon-thread path, so the DSE
+        # import stays out of the common analyze flow.
+        from hfast.dse.search import run_search
+
+        assert isinstance(job.spec, SweepSpec)
+        with using(job_obs):
+            return run_search(
+                job.spec.search,
+                cache_dir=self.config.cache_dir,
+                obs=job_obs,
+                store=self.config.store,
+                argv=["hfast-serve", job.job_id],
+                workers=self.config.workers,
+                scheduler=self.config.scheduler,
+                journal_dir=str(self.journal_dir),
+                resume=job.resume,
+                run_id=job.run_id,
+                bench_dir=self.config.bench_dir,
+            )
+
     def _graft_job(self, job: Job, job_obs: Observability) -> None:
         """Re-root one job's span events under the daemon's unified trace.
 
@@ -450,6 +516,7 @@ class AnalysisService:
                         "job_id": job.job_id,
                         "key": job.key,
                         "cell": job.spec.cell_key,
+                        "kind": job.kind,
                         "status": job.status,
                     },
                 },
@@ -562,12 +629,13 @@ class AnalysisService:
             payload = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
             return status, "application/json", payload, headers or {}
 
-        if path == "/v1/jobs" and method == "POST":
+        if path in ("/v1/jobs", "/v1/sweeps") and method == "POST":
             try:
                 payload = json.loads(body.decode("utf-8")) if body else None
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 return json_response(400, {"error": f"invalid JSON body: {exc}"})
-            status, doc, headers = self._submit(payload)
+            kind = "sweep" if path == "/v1/sweeps" else "analyze"
+            status, doc, headers = self._submit(payload, kind=kind)
             return json_response(status, doc, headers)
 
         if path == "/v1/jobs" and method == "GET":
@@ -617,7 +685,7 @@ class AnalysisService:
                     return json_response(400, {"error": "n must be an integer"})
             return json_response(200, {"seen": self.ring.seen, "events": self.ring.tail(n)})
 
-        known = {"/v1/jobs", "/healthz", "/metrics", "/v1/events"}
+        known = {"/v1/jobs", "/v1/sweeps", "/healthz", "/metrics", "/v1/events"}
         if path in known or path.startswith(("/v1/jobs/", "/v1/results/")):
             return json_response(405, {"error": f"{method} not allowed on {path}"})
         return json_response(404, {"error": f"no such endpoint {path}"})

@@ -14,6 +14,16 @@ The spec's ``overrides`` feed the same ``{app, nranks, overrides}``
 sha256 key the repro-cache has always used (:func:`hfast.cache.cache_key`),
 so the service's result addressing is an extension of the existing
 content-addressed trace cache, not a parallel scheme.
+
+``POST /v1/sweeps`` submissions go through :func:`canonicalize_sweep`
+instead: the payload names a design-space search (workload + space +
+strategy + seed), validation delegates to the DSE layer's own
+:class:`~hfast.dse.space.SearchSpace` /
+:class:`~hfast.dse.search.SearchSpec` validators (errors merged into
+one :class:`JobValidationError`), and the resulting
+:class:`SweepSpec`'s key IS the search's content key — so the stored
+frontier artifact is addressed identically whether it came through the
+daemon or a direct ``hfast search`` run.
 """
 
 from __future__ import annotations
@@ -238,6 +248,91 @@ def _validate_field(name: str, kind: str, value: Any, errors: list[str]) -> Any:
             clean[k] = v
         return tuple(sorted(clean.items()))
     raise AssertionError(f"unhandled field kind {kind!r}")  # pragma: no cover
+
+
+#: Top-level fields a sweep submission may carry; everything nested under
+#: ``space`` is validated by :class:`hfast.dse.space.SearchSpace`.
+SWEEP_FIELDS = (
+    "app",
+    "nranks",
+    "space",
+    "strategy",
+    "seed",
+    "population",
+    "generations",
+    "backend",
+    "timing_seed",
+)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One validated design-space sweep request.
+
+    A thin service-facing wrapper around the DSE layer's
+    :class:`~hfast.dse.search.SearchSpec`: the spec owns validation and
+    content addressing, this class adapts it to the daemon's job
+    protocol (``key``/``cell_key``/``payload``).
+    """
+
+    search: Any  # hfast.dse.search.SearchSpec
+
+    @property
+    def key(self) -> str:
+        """The search's content key — shared with ``hfast search``."""
+        return self.search.key
+
+    @property
+    def cell_key(self) -> str:
+        return f"{self.search.app}_p{self.search.nranks}"
+
+    def payload(self) -> dict[str, Any]:
+        """Flat payload that round-trips through :func:`canonicalize_sweep`."""
+        doc = self.search.canonical_doc()
+        return {k: v for k, v in doc.items() if k != "format"}
+
+
+def canonicalize_sweep(payload: Any) -> SweepSpec:
+    """Validate a sweep submission and return its canonical :class:`SweepSpec`.
+
+    Like :func:`canonicalize`, every problem is collected before raising.
+    Space and spec validation are delegated to the DSE layer so the
+    service accepts exactly what ``hfast search`` accepts.
+    """
+    # Lazy import: only sweep submissions pull in the DSE package.
+    from hfast.dse.search import SearchSpec, SearchSpecError
+    from hfast.dse.space import SearchSpace, SpaceValidationError
+
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        raise JobValidationError(
+            [f"sweep spec must be a JSON object, got {type(payload).__name__}"]
+        )
+    unknown = sorted(set(payload) - set(SWEEP_FIELDS))
+    if unknown:
+        errors.append(f"unknown field(s): {', '.join(unknown)}")
+    for name in ("app", "nranks"):
+        if name not in payload:
+            errors.append(f"{name}: required field is missing")
+    space = SearchSpace()
+    if "space" in payload:
+        try:
+            space = SearchSpace.from_doc(payload["space"])
+        except SpaceValidationError as exc:
+            errors.extend(exc.errors)
+    if not errors:
+        kwargs = {
+            k: payload[k]
+            for k in SWEEP_FIELDS
+            if k in payload and k != "space"
+        }
+        try:
+            return SweepSpec(search=SearchSpec(space=space, **kwargs))
+        except SearchSpecError as exc:
+            errors.extend(exc.errors)
+        except TypeError as exc:
+            errors.append(str(exc))
+    raise JobValidationError(errors)
 
 
 def canonicalize(payload: Any) -> JobSpec:

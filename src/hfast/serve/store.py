@@ -38,11 +38,30 @@ JOB_STATES = ("queued", "running", "done", "failed")
 
 
 class ResultStore:
-    """Content-addressed result artifacts: ``results/<sha256>.json``."""
+    """Content-addressed result artifacts: ``results/<sha256>.json``.
 
-    def __init__(self, root: str | os.PathLike):
+    With ``max_bytes`` set, the store enforces an LRU byte budget: each
+    ``put`` that pushes the total over the cap evicts the
+    least-recently-used artifacts (by file mtime — reads touch it) until
+    the budget holds again. The just-written artifact is never evicted,
+    even when it alone exceeds the budget, so a ``put`` is always
+    followed by a successful ``get``. ``on_evict`` (if given) is called
+    once per evicted key — the daemon hangs its
+    ``serve.store_evictions_total`` counter there.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        max_bytes: int | None = None,
+        on_evict: Any = None,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.on_evict = on_evict
 
     def _path(self, key: str) -> Path:
         if not RESULT_KEY_RE.match(key):
@@ -70,7 +89,39 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._evict(keep=path.name)
         return path
+
+    def _evict(self, keep: str) -> None:
+        """Drop LRU artifacts until the byte budget holds (best-effort)."""
+        entries = []
+        total = 0
+        for p in self.root.glob("*.json"):
+            if not RESULT_KEY_RE.match(p.stem):
+                continue
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            total += st.st_size
+            entries.append((st.st_mtime, p))
+        if total <= self.max_bytes:
+            return
+        entries.sort()
+        for _mtime, p in entries:
+            if total <= self.max_bytes:
+                break
+            if p.name == keep:
+                continue
+            try:
+                size = p.stat().st_size
+                p.unlink()
+            except OSError:
+                continue
+            total -= size
+            if self.on_evict is not None:
+                self.on_evict(p.stem)
 
     def get_bytes(self, key: str) -> bytes | None:
         """The stored artifact, byte-for-byte; ``None`` when absent."""
@@ -79,9 +130,17 @@ class ResultStore:
         except KeyError:
             return None
         try:
-            return path.read_bytes()
+            raw = path.read_bytes()
         except FileNotFoundError:
             return None
+        # A read is an LRU touch: recently-served artifacts survive
+        # eviction longer than cold ones.
+        if self.max_bytes is not None:
+            try:
+                os.utime(path)
+            except OSError:
+                pass
+        return raw
 
     def get(self, key: str) -> dict[str, Any] | None:
         raw = self.get_bytes(key)

@@ -23,6 +23,7 @@ byte-identical cache documents, timing fields included.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import asdict, dataclass
 from typing import Any
@@ -140,6 +141,102 @@ _STEP_KNOBS: dict[str, tuple[str, int]] = {
 }
 
 
+# -- calibrated-params artifact -------------------------------------------
+#
+# ``hfast calibrate`` (:mod:`hfast.dse.calibrate`) fits per-app params
+# against the paper's %comm tables and writes a provenance-stamped JSON
+# artifact. This module can load that artifact and *activate* it as an
+# overlay over ``APP_PARAMS``: activation is always explicit (an API
+# call or a CLI flag) — there is no ambient environment hook — so two
+# runs of the same command can never silently disagree.
+
+PARAMS_ARTIFACT_FORMAT = 1
+PARAMS_ARTIFACT_KIND = "hfast-loggp-params"
+
+_PARAM_FIELDS = ("L", "o", "g", "G", "jitter", "compute_step_s")
+
+_ACTIVE_PARAMS: dict[str, LogGPParams] = {}
+_ACTIVE_SOURCE: str | None = None
+
+
+class ParamsArtifactError(ValueError):
+    """A calibrated-params artifact is malformed or unreadable."""
+
+
+def load_params_artifact(path: Any) -> dict[str, LogGPParams]:
+    """Parse and validate a calibrated-params artifact file.
+
+    Returns the per-app :class:`LogGPParams` mapping; raises
+    :class:`ParamsArtifactError` on any structural problem so a stale or
+    hand-edited artifact fails loudly instead of skewing results.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise ParamsArtifactError(f"cannot read params artifact {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("kind") != PARAMS_ARTIFACT_KIND:
+        raise ParamsArtifactError(
+            f"{path}: not a {PARAMS_ARTIFACT_KIND} artifact"
+        )
+    if doc.get("format") != PARAMS_ARTIFACT_FORMAT:
+        raise ParamsArtifactError(
+            f"{path}: unsupported format {doc.get('format')!r} "
+            f"(expected {PARAMS_ARTIFACT_FORMAT})"
+        )
+    raw = doc.get("params")
+    if not isinstance(raw, dict) or not raw:
+        raise ParamsArtifactError(f"{path}: missing per-app params table")
+    out: dict[str, LogGPParams] = {}
+    for app, fields in raw.items():
+        if not isinstance(fields, dict):
+            raise ParamsArtifactError(f"{path}: params[{app!r}] is not an object")
+        kwargs: dict[str, float] = {}
+        for name in _PARAM_FIELDS:
+            v = fields.get(name)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or not math.isfinite(v):
+                raise ParamsArtifactError(
+                    f"{path}: params[{app!r}].{name} must be a finite number, got {v!r}"
+                )
+            kwargs[name] = float(v)
+        if not 0.0 <= kwargs["jitter"] < 1.0:
+            raise ParamsArtifactError(
+                f"{path}: params[{app!r}].jitter must be in [0, 1)"
+            )
+        out[app] = LogGPParams(**kwargs)
+    return out
+
+
+def activate_params(params: dict[str, LogGPParams], source: str) -> None:
+    """Install a calibrated overlay; apps not in it keep their defaults."""
+    global _ACTIVE_SOURCE
+    _ACTIVE_PARAMS.clear()
+    _ACTIVE_PARAMS.update(params)
+    _ACTIVE_SOURCE = source
+
+
+def deactivate_params() -> None:
+    """Drop the calibrated overlay; everything reverts to ``APP_PARAMS``."""
+    global _ACTIVE_SOURCE
+    _ACTIVE_PARAMS.clear()
+    _ACTIVE_SOURCE = None
+
+
+def active_params(app: str) -> LogGPParams:
+    """The effective params for an app: overlay, else defaults."""
+    overlay = _ACTIVE_PARAMS.get(app)
+    if overlay is not None:
+        return overlay
+    return APP_PARAMS.get(app, LogGPParams())
+
+
+def params_provenance(app: str) -> str:
+    """``default`` or ``calibrated:<source>`` for the app's active params."""
+    if app in _ACTIVE_PARAMS and _ACTIVE_SOURCE is not None:
+        return f"calibrated:{_ACTIVE_SOURCE}"
+    return "default"
+
+
 def _app_tag(app: str) -> int:
     tag = 0
     for ch in app.encode("utf-8"):
@@ -162,7 +259,7 @@ class TimingModel:
         self.app = app
         self.nranks = int(nranks)
         self.seed = int(seed)
-        self.params = params if params is not None else APP_PARAMS.get(app, LogGPParams())
+        self.params = params if params is not None else active_params(app)
         if not 0.0 <= self.params.jitter < 1.0:
             raise ValueError(f"jitter must be in [0, 1), got {self.params.jitter}")
         self._seed_base = mix64((self.seed & _MASK64) ^ _app_tag(app))

@@ -1,0 +1,138 @@
+"""Properties of the Pareto dominance/frontier utilities.
+
+Seeded property tests pin the frontier's defining invariants — mutual
+non-domination, domination of every dropped point, order-insensitivity —
+plus the degenerate cases (empty input, single point, all-equal
+objectives) that a naive pairwise filter tends to get wrong.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from hfast.dse.pareto import (
+    SENSES,
+    Objective,
+    dominates,
+    frontier_indices,
+    normalize,
+    pareto_frontier,
+    pareto_rank,
+    sort_key,
+)
+
+OBJS = (Objective("cov", "max"), Objective("bytes", "min"), Objective("cost", "min"))
+
+
+def _random_points(seed: int, n: int) -> list[dict[str, float]]:
+    rng = random.Random(seed)
+    return [
+        {
+            "cov": rng.choice([0.0, 0.25, 0.5, 0.75, 1.0]),
+            "bytes": float(rng.randrange(0, 5) * 1000),
+            "cost": round(rng.uniform(0.0, 4.0), 2),
+        }
+        for _ in range(n)
+    ]
+
+
+# -- objective basics -------------------------------------------------------
+
+
+def test_objective_rejects_unknown_sense():
+    with pytest.raises(ValueError):
+        Objective("x", "sideways")
+    assert SENSES == ("min", "max")
+
+
+def test_dominates_orientation():
+    a = {"cov": 1.0, "bytes": 0.0, "cost": 1.0}
+    b = {"cov": 0.5, "bytes": 100.0, "cost": 1.0}
+    assert dominates(a, b, OBJS)
+    assert not dominates(b, a, OBJS)
+    # Equal on every objective: neither dominates.
+    assert not dominates(a, dict(a), OBJS)
+
+
+def test_normalize_negates_max_objectives():
+    p = {"cov": 0.75, "bytes": 10.0, "cost": 2.0}
+    assert normalize(p, OBJS) == (-0.75, 10.0, 2.0)
+    assert sort_key(p, OBJS) == normalize(p, OBJS)
+
+
+# -- seeded frontier properties ---------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 7, 1234])
+@pytest.mark.parametrize("n", [1, 2, 17, 60])
+def test_frontier_mutually_non_dominated(seed, n):
+    points = _random_points(seed, n)
+    kept, dropped = pareto_frontier(points, OBJS)
+    assert sorted(kept + dropped) == list(range(n))
+    for i in kept:
+        for j in kept:
+            if i != j:
+                assert not dominates(points[i], points[j], OBJS)
+
+
+@pytest.mark.parametrize("seed", [0, 7, 1234])
+@pytest.mark.parametrize("n", [2, 17, 60])
+def test_frontier_dominates_every_dropped_point(seed, n):
+    points = _random_points(seed, n)
+    kept, dropped = pareto_frontier(points, OBJS)
+    for j in dropped:
+        assert any(dominates(points[i], points[j], OBJS) for i in kept)
+
+
+@pytest.mark.parametrize("seed", [3, 99])
+def test_frontier_is_order_insensitive(seed):
+    points = _random_points(seed, 40)
+    kept, _ = pareto_frontier(points, OBJS)
+    frontier_set = {tuple(sorted(points[i].items())) for i in kept}
+
+    shuffled = list(points)
+    random.Random(seed + 1).shuffle(shuffled)
+    kept_s, _ = pareto_frontier(shuffled, OBJS)
+    assert {tuple(sorted(shuffled[i].items())) for i in kept_s} == frontier_set
+
+
+# -- degenerate cases -------------------------------------------------------
+
+
+def test_empty_input_yields_empty_frontier():
+    assert pareto_frontier([], OBJS) == ([], [])
+    assert frontier_indices([], OBJS) == []
+    assert pareto_rank([], OBJS) == []
+
+
+def test_single_point_is_its_own_frontier():
+    kept, dropped = pareto_frontier([{"cov": 0.5, "bytes": 1.0, "cost": 1.0}], OBJS)
+    assert kept == [0] and dropped == []
+
+
+def test_all_equal_objectives_all_kept():
+    points = [{"cov": 0.5, "bytes": 100.0, "cost": 2.0}] * 5
+    kept, dropped = pareto_frontier(points, OBJS)
+    assert kept == [0, 1, 2, 3, 4] and dropped == []
+    assert pareto_rank(points, OBJS) == [0, 0, 0, 0, 0]
+
+
+# -- ranking ----------------------------------------------------------------
+
+
+def test_pareto_rank_layers():
+    points = [
+        {"cov": 1.0, "bytes": 0.0, "cost": 0.0},  # dominates everything
+        {"cov": 0.5, "bytes": 10.0, "cost": 1.0},
+        {"cov": 0.25, "bytes": 20.0, "cost": 2.0},
+    ]
+    assert pareto_rank(points, OBJS) == [0, 1, 2]
+
+
+def test_rank_zero_matches_frontier():
+    points = _random_points(42, 30)
+    kept, _ = pareto_frontier(points, OBJS)
+    ranks = pareto_rank(points, OBJS)
+    assert [i for i, r in enumerate(ranks) if r == 0] == kept

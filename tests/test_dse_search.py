@@ -1,0 +1,149 @@
+"""Design-space search: cross-backend byte-identity, resume, tracing.
+
+The acceptance contract for the DSE subsystem: a fixed-seed search
+produces a byte-identical frontier artifact on the serial, process-pool,
+and work-stealing backends, and the journal-backed resume path replays
+to the same bytes. gtc @ p8 is in the repo cache, so candidate
+evaluations are warm cache hits and the differentials stay fast.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from hfast.dse.search import (
+    OBJECTIVES,
+    SearchSpec,
+    SearchSpecError,
+    frontier_bytes,
+    run_search,
+)
+from hfast.dse.space import SearchSpace
+from hfast.obs.profile import Observability
+
+SPACE = SearchSpace(
+    circuits=(1, 4), reconfig_costs=(0.0, 1e-3), matchers=("vector",), timesteps=(1, 4)
+)
+
+
+def _spec(**overrides):
+    kwargs = dict(app="gtc", nranks=8, space=SPACE, strategy="grid", seed=0)
+    kwargs.update(overrides)
+    return SearchSpec(**kwargs)
+
+
+def _run(spec, cache_dir, tmp_path, **kwargs):
+    kwargs.setdefault("journal_dir", str(tmp_path / "journal"))
+    kwargs.setdefault("store", False)
+    kwargs.setdefault("bench_dir", str(tmp_path))
+    return run_search(spec, cache_dir=str(cache_dir), **kwargs)
+
+
+# -- spec validation --------------------------------------------------------
+
+
+def test_spec_validation_collects_errors():
+    with pytest.raises(SearchSpecError) as exc:
+        SearchSpec(app="nope", nranks=0, strategy="anneal")
+    msgs = "\n".join(exc.value.errors)
+    assert "app" in msgs and "nranks" in msgs and "strategy" in msgs
+
+
+def test_spec_key_is_content_addressed():
+    assert _spec().key == _spec().key
+    assert _spec().key != _spec(seed=1).key
+    assert _spec().key != _spec(space=SearchSpace()).key
+
+
+# -- the acceptance differential -------------------------------------------
+
+
+def test_grid_frontier_byte_identical_across_backends(repo_cache_dir, tmp_path):
+    spec = _spec()
+    serial = _run(spec, repo_cache_dir, tmp_path / "a", scheduler="static", workers=1)
+    pool = _run(spec, repo_cache_dir, tmp_path / "b", scheduler="static", workers=2)
+    steal = _run(spec, repo_cache_dir, tmp_path / "c", scheduler="stealing", workers=2)
+
+    blob = frontier_bytes(serial["frontier"])
+    assert frontier_bytes(pool["frontier"]) == blob
+    assert frontier_bytes(steal["frontier"]) == blob
+
+    doc = serial["frontier"]
+    assert doc["kind"] == "hfast-dse-frontier"
+    assert doc["search_key"] == spec.key
+    assert doc["evaluated"] == SPACE.size
+    assert doc["failed"] == []
+    # Canonical serialization: sorted keys + trailing newline.
+    assert blob == (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+
+
+def test_evolution_frontier_byte_identical_and_seeded(repo_cache_dir, tmp_path):
+    spec = _spec(strategy="evolution", seed=7, population=4, generations=2)
+    serial = _run(spec, repo_cache_dir, tmp_path / "a", scheduler="static")
+    steal = _run(spec, repo_cache_dir, tmp_path / "b", scheduler="stealing", workers=2)
+    assert frontier_bytes(serial["frontier"]) == frontier_bytes(steal["frontier"])
+
+    other = _run(
+        _spec(strategy="evolution", seed=8, population=4, generations=2),
+        repo_cache_dir,
+        tmp_path / "c",
+        scheduler="static",
+    )
+    assert other["frontier"]["seed"] == 8
+    assert frontier_bytes(other["frontier"]) != frontier_bytes(serial["frontier"])
+
+
+def test_resume_replays_to_identical_bytes(repo_cache_dir, tmp_path):
+    spec = _spec()
+    first = _run(spec, repo_cache_dir, tmp_path, scheduler="stealing")
+    run_id = first["sched"]["run_id"]
+    resumed = _run(
+        spec, repo_cache_dir, tmp_path, scheduler="stealing", resume=run_id
+    )
+    assert resumed["sched"]["cells_from_journal"] == SPACE.size
+    assert frontier_bytes(resumed["frontier"]) == frontier_bytes(first["frontier"])
+
+
+def test_resume_requires_stealing(repo_cache_dir, tmp_path):
+    with pytest.raises(ValueError):
+        _run(_spec(), repo_cache_dir, tmp_path, scheduler="static", resume="r-123")
+
+
+# -- frontier structure -----------------------------------------------------
+
+
+def test_objectives_and_frontier_invariants(repo_cache_dir, tmp_path):
+    out = _run(_spec(), repo_cache_dir, tmp_path, scheduler="static")
+    doc = out["frontier"]
+    names = [o["name"] for o in doc["objectives"]]
+    assert names == [o.name for o in OBJECTIVES]
+    assert doc["evaluated"] == len(doc["frontier"]) + doc["dominated"]
+    for point in doc["frontier"]:
+        objs = point["objectives"]
+        assert 0.0 <= objs["coverage"] <= 1.0
+        assert objs["packet_bytes"] >= 0
+        assert objs["reconfig_s"] >= 0.0
+        assert objs["eval_cost"] > 0.0
+    # Wall-clock side channels stay out of the artifact entirely.
+    assert "wall_s" not in json.dumps(doc)
+    assert out["evaluations"]  # ... and live here instead
+
+
+def test_trace_carries_candidate_spans_and_frontier_event(repo_cache_dir, tmp_path):
+    obs = Observability(enabled=True, keep_events=True)
+    spec = _spec()
+    out = _run(spec, repo_cache_dir, tmp_path, scheduler="static", obs=obs)
+    events = obs.events
+    roots = [e for e in events if e.get("event") == "span" and e.get("name") == "dse_search"]
+    assert len(roots) == 1
+    cands = [e for e in events if e.get("event") == "span" and e.get("name") == "candidate"]
+    assert len(cands) == SPACE.size
+    assert all(e["parent_id"] == roots[0]["span_id"] for e in cands)
+    keys = {e["attrs"]["candidate"] for e in cands}
+    assert len(keys) == SPACE.size
+    frontier_events = [e for e in events if e.get("event") == "dse_frontier"]
+    assert len(frontier_events) == 1
+    assert frontier_events[0]["search_key"] == spec.key
+    assert out["manifest"]["dse"]["search_key"] == spec.key
