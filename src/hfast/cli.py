@@ -14,6 +14,7 @@ Subcommands::
     python -m hfast search  --app A --scale N [--circuits 1,2,4] [--strategy grid] ...
     python -m hfast calibrate [--out PARAMS.json]
     python -m hfast apps    [--params PARAMS.json]
+    python -m hfast obs     {history,trend,slo,tail} ...
 
 ``--profile`` turns the observability layer on; ``--trace-out`` /
 ``--metrics-out`` imply it. With no profiling flags, the pipeline runs
@@ -78,6 +79,15 @@ artifact is byte-identical across all of them for a fixed spec.
 the paper's %comm tables and writes a provenance-stamped params
 artifact; ``hfast apps --params`` overlays it and shows per-app
 provenance (default vs calibrated).
+
+``hfast obs`` queries persistent telemetry post-mortem: ``history``
+lists/compacts a ``--history-dir`` written by analyze runs or the serve
+daemon, ``trend`` renders deterministic cross-run trend tables (and can
+ingest ``benchmarks/BENCH_*.json`` perf snapshots via ``--bench``),
+``slo`` evaluates burn-rate rules over the recorded runs, and ``tail``
+reads structured logs across their rotation chain. ``--slo`` on analyze
+evaluates the spec inline — breaches land in the trace, ``/metrics``,
+and the report's SLO compliance section.
 """
 
 from __future__ import annotations
@@ -234,6 +244,23 @@ def build_parser() -> argparse.ArgumentParser:
              "flagged cells and reprioritize their app's queued siblings "
              "(implies --scheduler stealing; results stay byte-identical)",
     )
+    p_an.add_argument(
+        "--slo", default=None, metavar="SPEC",
+        help="evaluate SLO burn rates after the run: 'default' or a "
+             "JSON/YAML spec path (implies --profile; breaches land in the "
+             "trace, /metrics, and the report's SLO compliance section)",
+    )
+    p_an.add_argument(
+        "--history-dir", default=None, metavar="DIR",
+        help="append a content-addressed run snapshot to this telemetry "
+             "history directory (implies --profile; query later with "
+             "`hfast obs trend`)",
+    )
+    p_an.add_argument(
+        "--log-out", default=None, metavar="LOG.jsonl",
+        help="structured JSON log (rotating) with run/cell correlation ids "
+             "for the scheduler and live view",
+    )
 
     p_rep = sub.add_parser("report", help="render a report from an existing JSONL trace")
     p_rep.add_argument("--trace", required=True, help="JSONL event trace to read")
@@ -325,6 +352,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--store-max-bytes", type=int, default=None, metavar="N",
         help="LRU byte budget for the result store: writes past it evict "
              "the least-recently-served artifacts (default: unbounded)",
+    )
+    p_sv.add_argument(
+        "--history-dir", default=None, metavar="DIR",
+        help="append a content-addressed snapshot per finished job to this "
+             "telemetry history directory",
+    )
+    p_sv.add_argument(
+        "--slo", default=None, metavar="SPEC",
+        help="evaluate SLO burn rates per job: 'default' or a JSON/YAML spec path",
+    )
+    p_sv.add_argument(
+        "--heartbeat-interval", type=float, default=2.0, metavar="S",
+        help="seconds between heartbeat events on /v1/events (<= 0 disables)",
     )
 
     p_se = sub.add_parser(
@@ -438,6 +478,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="overlay a calibrated LogGP params artifact (from `hfast calibrate`); "
              "each app's provenance shows default vs calibrated",
     )
+
+    p_obs = sub.add_parser(
+        "obs", help="query persistent telemetry: history, cross-run trends, SLOs, logs"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_oh = obs_sub.add_parser("history", help="list or compact a telemetry history directory")
+    p_oh.add_argument("history_dir", help="history directory (from --history-dir)")
+    p_oh.add_argument("--compact", action="store_true",
+                      help="merge + dedupe every segment into one sealed segment")
+    p_oh.add_argument("--retain", type=int, default=None, metavar="N",
+                      help="with --compact: keep only the newest N snapshots")
+    p_oh.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    p_oh.add_argument("--strict", action="store_true",
+                      help="fail on malformed snapshot lines instead of skipping them")
+
+    p_ot = obs_sub.add_parser(
+        "trend", help="cross-run trend table (deterministic: a pure function of history content)"
+    )
+    p_ot.add_argument("history_dirs", nargs="+", help="one or more history directories")
+    p_ot.add_argument("--bench", default=None, metavar="DIR",
+                      help="also ingest BENCH_*.json perf snapshots from this dir or file")
+    p_ot.add_argument("--app", default=None, help="restrict to one app")
+    p_ot.add_argument("--scale", type=int, default=None, help="restrict to one rank count")
+    p_ot.add_argument("--quantiles", default=None, metavar="METRIC",
+                      help="per-snapshot p50/p99 of a deterministic histogram "
+                           "(e.g. call_latency_usec) instead of the trend table")
+    p_ot.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    p_ot.add_argument("--strict", action="store_true",
+                      help="fail on malformed snapshot lines instead of skipping them")
+
+    p_os = obs_sub.add_parser("slo", help="evaluate SLO burn rates over recorded history")
+    p_os.add_argument("history_dir", help="history directory (from --history-dir)")
+    p_os.add_argument("--spec", default="default",
+                      help="'default' or a JSON/YAML SLO spec path")
+    p_os.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    p_os.add_argument("--strict", action="store_true",
+                      help="exit nonzero when any SLO is breached")
+
+    p_otl = obs_sub.add_parser(
+        "tail", help="read a structured log or trace stream (rotated siblings included)"
+    )
+    p_otl.add_argument("path", help="structured log / JSONL trace path")
+    p_otl.add_argument("-n", type=int, default=None, metavar="N",
+                       help="only the last N records")
+    p_otl.add_argument("--level", choices=("debug", "info", "warning", "error"),
+                       default=None, help="only records at this level")
+    p_otl.add_argument("--event", default=None, help="only records with this event name")
     return parser
 
 
@@ -445,6 +533,7 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
     profiling = bool(
         args.profile or args.trace_out or args.metrics_out or args.report_dir
         or args.bench_dir or args.live or args.metrics_port is not None
+        or args.slo or args.history_dir
     )
     if profiling:
         sink = JsonlSink(args.trace_out) if args.trace_out else None
@@ -452,6 +541,22 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
     else:
         obs = Observability.disabled()
     configure(obs)
+
+    slo_engine = None
+    if args.slo:
+        from hfast.obs.slo import SloEngine, SloSpecError, load_slo_spec
+
+        try:
+            slo_engine = SloEngine(load_slo_spec(args.slo))
+        except SloSpecError as exc:
+            for err in exc.errors:
+                print(f"error: {err}", file=sys.stderr)
+            return 2
+
+    if args.log_out:
+        from hfast.obs.logs import configure_logging
+
+        configure_logging(args.log_out)
 
     apps = args.apps or available_apps()
     unknown = [a for a in apps if a not in APPS]
@@ -511,6 +616,8 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
             anomaly=detector,
             anomaly_threshold=args.anomaly_threshold,
             mitigate=args.mitigate,
+            slo=slo_engine,
+            history_dir=args.history_dir,
         )
     except CacheValidationError as exc:
         print(f"error: cache validation failed: {exc}", file=sys.stderr)
@@ -523,6 +630,10 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
             live_view.stop()
         if metrics_server is not None:
             metrics_server.stop()
+        if args.log_out:
+            from hfast.obs.logs import reset_logging
+
+            reset_logging()
 
     for res in out["results"]:
         ic = res["interconnect"]
@@ -575,6 +686,14 @@ def _cmd_analyze(args: argparse.Namespace, argv: list[str]) -> int:
             f"expected {a['expected_s']:.3f}s ({a['ratio']}x)",
             file=sys.stderr,
         )
+
+    if slo_engine is not None:
+        from hfast.obs.slo import render_slo_lines
+
+        for line in render_slo_lines(out.get("slo") or []):
+            print(line, file=sys.stderr)
+    if args.history_dir:
+        print(f"history: {args.history_dir}", file=sys.stderr)
 
     cells = out["manifest"].get("cells") or []
     failed = [c for c in cells if not c["ok"]]
@@ -739,6 +858,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store=not args.no_store,
         bench_dir=args.bench_dir,
         store_max_bytes=args.store_max_bytes,
+        history_dir=args.history_dir,
+        slo_spec=args.slo,
+        heartbeat_interval=args.heartbeat_interval,
     )
     return run_serve(config)
 
@@ -918,6 +1040,109 @@ def _cmd_apps(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    # Lazy imports: post-mortem queries need none of the pipeline.
+    from hfast.obs import history as hist
+
+    if args.obs_command == "history":
+        if args.compact:
+            stats = hist.compact(args.history_dir, retain=args.retain, strict=args.strict)
+            if args.json:
+                print(json.dumps(stats, indent=2, sort_keys=True))
+            else:
+                print(
+                    f"compacted {stats['segments_before']} segment(s) -> "
+                    f"{stats['segments_after']}: {stats['snapshots']} snapshot(s) kept, "
+                    f"{stats['dropped']} dropped"
+                )
+            return 0
+        try:
+            snapshots = hist.read_history(args.history_dir, strict=args.strict)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(snapshots, indent=2, sort_keys=True))
+            return 0
+        for snap in snapshots:
+            meta = snap.get("meta") or {}
+            rows = len((snap.get("data") or {}).get("results") or [])
+            ts = meta.get("timestamp")
+            print(
+                f"{snap['key'][:12]}  {snap.get('kind', '?'):<8s} "
+                f"{str(meta.get('source') or '-'):<8s} rows={rows:<3d} "
+                f"ts={ts if ts is not None else '-'}"
+            )
+        print(f"{len(snapshots)} snapshot(s)")
+        return 0
+
+    if args.obs_command == "trend":
+        snapshots: list[dict] = []
+        try:
+            for d in args.history_dirs:
+                snapshots.extend(hist.read_history(d, strict=args.strict))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.bench:
+            snapshots.extend(hist.load_bench_snapshots(args.bench))
+        if args.quantiles:
+            rows = hist.trend_quantiles(snapshots, args.quantiles)
+            if args.json:
+                print(json.dumps(rows, indent=2, sort_keys=True))
+                return 0
+            for r in rows:
+                qs = " ".join(
+                    f"{k}={r[k]:g}" for k in sorted(r) if k.startswith("p") and r[k] is not None
+                )
+                print(f"{r['key']}  n={r['count']:<8d} {qs}")
+            return 0
+        rows = hist.trend_rows(snapshots, app=args.app, nranks=args.scale)
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+            return 0
+        sys.stdout.write(hist.render_trend(rows))
+        return 0
+
+    if args.obs_command == "slo":
+        from hfast.obs.slo import SloEngine, SloSpecError, load_slo_spec, render_slo_lines
+
+        try:
+            engine = SloEngine(load_slo_spec(args.spec))
+        except SloSpecError as exc:
+            for err in exc.errors:
+                print(f"error: {err}", file=sys.stderr)
+            return 2
+        snapshots = hist.read_history(args.history_dir, kinds=("run",))
+        statuses = engine.evaluate_runs(snapshots)
+        if args.json:
+            print(json.dumps(statuses, indent=2, sort_keys=True))
+        else:
+            for line in render_slo_lines(statuses):
+                print(line)
+        if args.strict and any(s.get("breached") for s in statuses):
+            return 1
+        return 0
+
+    if args.obs_command == "tail":
+        from hfast.obs.logs import read_log_records
+
+        try:
+            records = read_log_records(args.path, level=args.level)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.event:
+            records = [r for r in records if r.get("event") == args.event]
+        if args.n is not None:
+            records = records[-max(0, args.n):]
+        for rec in records:
+            print(json.dumps(rec, sort_keys=True))
+        return 0
+
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     args = build_parser().parse_args(argv)
@@ -935,6 +1160,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_calibrate(args)
     if args.command == "apps":
         return _cmd_apps(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     return 2
 
 

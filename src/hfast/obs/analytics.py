@@ -62,6 +62,10 @@ def load_events(
     event shape a live run would have produced, via the same grafting
     code the pipeline uses.
 
+    A rotated sink (``JsonlSink(max_bytes=...)``) leaves a chain of
+    siblings — ``<trace>.2``, ``<trace>.1``, ``<trace>`` — which is read
+    back oldest-first so the merged event order survives rollover.
+
     Tolerance contract: a truncated *final* line (crash mid-write, e.g.
     under fault injection) is always skipped with a warning. Other
     malformed lines are skipped with a warning unless ``strict=True``.
@@ -76,29 +80,34 @@ def load_events(
     if not path.is_file():
         raise TraceError(f"{path}: no such trace file")
 
-    try:
-        lines = path.read_text(encoding="utf-8").splitlines()
-    except OSError as exc:
-        raise TraceError(f"{path}: {exc}") from exc
+    # Imported lazily (see events_from_journal) to avoid an import cycle.
+    from hfast.obs.logs import rotated_paths
 
+    parts = [Path(p) for p in rotated_paths(path)] or [path]
     records: list[dict[str, Any]] = []
-    for lineno, line in enumerate(lines, start=1):
-        stripped = line.strip()
-        if not stripped:
-            continue
+    for part_no, part in enumerate(parts, start=1):
         try:
-            rec = json.loads(stripped)
-            if not isinstance(rec, dict):
-                raise json.JSONDecodeError("not an object", stripped, 0)
-        except json.JSONDecodeError as exc:
-            if lineno == len(lines):
-                warn(f"{path}:{lineno}: ignoring truncated final line")
+            lines = part.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            raise TraceError(f"{part}: {exc}") from exc
+        is_last_part = part_no == len(parts)
+        for lineno, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
                 continue
-            if strict:
-                raise TraceError(f"{path}:{lineno}: malformed JSONL line: {exc}") from exc
-            warn(f"{path}:{lineno}: skipping malformed line")
-            continue
-        records.append(rec)
+            try:
+                rec = json.loads(stripped)
+                if not isinstance(rec, dict):
+                    raise json.JSONDecodeError("not an object", stripped, 0)
+            except json.JSONDecodeError as exc:
+                if is_last_part and lineno == len(lines):
+                    warn(f"{part}:{lineno}: ignoring truncated final line")
+                    continue
+                if strict:
+                    raise TraceError(f"{part}:{lineno}: malformed JSONL line: {exc}") from exc
+                warn(f"{part}:{lineno}: skipping malformed line")
+                continue
+            records.append(rec)
 
     if records and records[0].get("kind") == "run":
         return events_from_journal(records)

@@ -21,6 +21,8 @@ import threading
 import time
 from typing import Any, TextIO
 
+from hfast.obs.logs import get_logger
+
 _STATE_ORDER = ("queued", "running", "retry", "done", "failed")
 _GLYPH = {"queued": ".", "running": ">", "retry": "~", "done": "+", "failed": "!"}
 
@@ -250,6 +252,19 @@ class LiveView:
         self._last_paint = now
         with self._lock:
             self._check_stragglers_locked()
+        # Mirror the digest into the ambient structured log (no-op unless
+        # configured) so live progress is joinable against the trace.
+        log = get_logger(component="live")
+        if log.enabled:
+            snap = self.snapshot()
+            log.debug(
+                "live_summary",
+                run_id=snap["run_id"],
+                counts=snap["counts"],
+                counters=snap["counters"],
+                stragglers=sorted(snap["stragglers"]),
+                done=snap["done"],
+            )
         try:
             if self.is_tty:
                 lines = self.render_lines()

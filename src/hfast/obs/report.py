@@ -21,12 +21,40 @@ from hfast.obs.analytics import TraceTree, attribution, critical_path, stage_rol
 REPORT_VERSION = 1
 
 
+def bench_run_rows(runs: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Project per-app summaries onto the BENCH/perf-trajectory row shape.
+
+    Shared by the ``BENCH_*.json`` writer and the telemetry history
+    (:mod:`hfast.obs.history`): a history snapshot's ``data.results``
+    mirrors this exact projection, so trend queries read BENCH snapshots
+    and history segments through one row shape. Every field here is
+    deterministic (no wall clocks), which is what lets history keys be
+    content-addressed.
+    """
+    return [
+        {
+            "app": r.get("app"),
+            "nranks": r.get("nranks"),
+            "total_bytes": r.get("total_bytes"),
+            "total_messages": r.get("total_messages"),
+            "max_degree": (r.get("topology") or {}).get("max_degree"),
+            "coverage": (r.get("interconnect") or {}).get("coverage"),
+            "speedup": (r.get("interconnect") or {}).get("speedup"),
+            "pct_comm": (r.get("timing") or {}).get("pct_comm"),
+            "temporal_coverage": (r.get("interconnect_temporal") or {}).get("coverage"),
+            "temporal_speedup": (r.get("interconnect_temporal") or {}).get("speedup"),
+        }
+        for r in runs
+    ]
+
+
 def build_report(events: list[dict[str, Any]]) -> dict[str, Any]:
     """Aggregate a JSONL event stream into the run-report document."""
     manifest: dict[str, Any] | None = None
     runs: list[dict[str, Any]] = []
     anomalies: list[dict[str, Any]] = []
     frontiers: list[dict[str, Any]] = []
+    slo_statuses: list[dict[str, Any]] = []
     stage_wall: dict[str, float] = defaultdict(float)
     stage_calls: dict[str, int] = defaultdict(int)
     peak_rss = 0
@@ -45,6 +73,8 @@ def build_report(events: list[dict[str, Any]]) -> dict[str, Any]:
             anomalies.append({k: v for k, v in ev.items() if k not in structural})
         elif kind == "dse_frontier":
             frontiers.append({k: v for k, v in ev.items() if k not in structural})
+        elif kind == "slo_status":
+            slo_statuses.append({k: v for k, v in ev.items() if k not in structural})
         elif kind == "span":
             stage_wall[ev["name"]] += ev.get("wall_s", 0.0)
             stage_calls[ev["name"]] += 1
@@ -72,6 +102,11 @@ def build_report(events: list[dict[str, Any]]) -> dict[str, Any]:
         # the full frontier artifact document, byte-identical across
         # scheduler backends by the DSE determinism contract.
         "frontiers": frontiers,
+        # SLO engine statuses (one slo_status event per declared SLO).
+        # Burn rates follow the anomaly detector's wall-derived verdicts,
+        # so like "anomalies" they sit outside the byte-identity contract
+        # under fault injection (clean runs always score burn 0).
+        "slo": slo_statuses,
         "profile": {
             "total_wall_s": round(total_wall, 6),
             "peak_rss_kb": peak_rss,
@@ -255,6 +290,33 @@ def render_markdown(report: dict[str, Any]) -> str:
                 )
             lines.append("")
 
+    slo_statuses = report.get("slo") or []
+    if slo_statuses:
+        lines.append("## SLO compliance")
+        lines.append("")
+        breached = [s for s in slo_statuses if s.get("breached")]
+        lines.append(
+            f"{len(slo_statuses)} SLO(s) evaluated, {len(breached)} breached."
+            if breached
+            else f"{len(slo_statuses)} SLO(s) evaluated, all within budget."
+        )
+        lines.append("")
+        lines.append("| SLO | kind | objective | burn | budget left | windows | status |")
+        lines.append("|---|---|---:|---:|---:|---|---|")
+        for s in slo_statuses:
+            windows = "; ".join(
+                f"{w.get('name', 'run')}[{w.get('last') or 'all'}] "
+                f"{w.get('burn', 0):g}/{w.get('max_burn', 0):g}"
+                for w in s.get("windows") or []
+            )
+            lines.append(
+                f"| {s.get('slo', '?')} | {s.get('kind', '?')} "
+                f"| {s.get('objective', 0):g} | {s.get('burn', 0):g} "
+                f"| {s.get('budget_remaining', 0):g} | {windows} "
+                f"| {'**BREACHED**' if s.get('breached') else 'ok'} |"
+            )
+        lines.append("")
+
     anomalies = report.get("anomalies") or []
     if anomalies:
         lines.append("## Anomalies")
@@ -392,21 +454,7 @@ def write_report(
             "timestamp": man.get("timestamp"),
             "workers": man.get("workers", 1),
             "profile": report.get("profile"),
-            "runs": [
-                {
-                    "app": r.get("app"),
-                    "nranks": r.get("nranks"),
-                    "total_bytes": r.get("total_bytes"),
-                    "total_messages": r.get("total_messages"),
-                    "max_degree": (r.get("topology") or {}).get("max_degree"),
-                    "coverage": (r.get("interconnect") or {}).get("coverage"),
-                    "speedup": (r.get("interconnect") or {}).get("speedup"),
-                    "pct_comm": (r.get("timing") or {}).get("pct_comm"),
-                    "temporal_coverage": (r.get("interconnect_temporal") or {}).get("coverage"),
-                    "temporal_speedup": (r.get("interconnect_temporal") or {}).get("speedup"),
-                }
-                for r in report.get("runs", [])
-            ],
+            "runs": bench_run_rows(report.get("runs", [])),
         }
         with open(bench_path, "w", encoding="utf-8") as fh:
             json.dump(bench_doc, fh, indent=2, sort_keys=True)

@@ -1,0 +1,446 @@
+"""Declarative SLO engine with multi-window burn-rate evaluation.
+
+An SLO spec (JSON always; YAML when a ``yaml`` module happens to be
+installed) declares objectives over the signals the observability stack
+already produces — straggler-free cell execution (the anomaly
+detector's verdicts), cell success counters, LogGP latency histograms,
+serve queue depth — and the engine scores each objective with the
+SRE-style multi-window burn-rate rule:
+
+    burn = (bad fraction over window) / (1 - objective)
+
+An SLO is **breached** only when *every* window exceeds its burn limit
+— the fast window catches cliffs, the slow window filters blips, and
+both must agree before anyone is paged. Violations surface everywhere
+the run is observable: ``slo_status`` / ``slo_violation`` trace events,
+``hfast_slo_*`` Prometheus series (:func:`hfast.obs.prom.render_slo_prometheus`),
+stderr advisories, and the report's "SLO compliance" section. A breach
+can also feed ``--mitigate`` as advisory pressure
+(:meth:`SloEngine.mitigation_threshold` tightens the straggler
+threshold).
+
+Determinism: on a clean run every SLI here is a pure function of the
+analyzed work (burn 0 everywhere), so ``--slo`` artifacts stay
+byte-identical across backends. Under fault injection the ``cell_wall``
+SLI follows the anomaly detector's verdicts, which are wall-derived and
+sit outside the byte-identity contract — same precedent as the
+``anomaly`` events themselves.
+
+SLI kinds::
+
+    {"kind": "cell_wall"}                          # bad = straggler-flagged cells
+    {"kind": "ratio", "bad": NAME, "total": NAME}  # context count or counter metric
+    {"kind": "latency", "metric": NAME,            # histogram: bad = fraction of
+     "threshold": EDGE}                            #   observations above threshold
+    {"kind": "gauge", "metric": NAME, "max": V}    # bad = 1.0 while over the cap
+
+Windows: ``{"name", "last": N, "max_burn": B}`` — ``last`` bounds the
+window to the most recent N units (cells in-run, runs for history
+evaluation; 0 = everything).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Any
+
+DEFAULT_OBJECTIVE = 0.99
+
+#: Built-in spec (``--slo default``): straggler-free cells with a
+#: fast/slow window pair, no failed cells, and p-latency on the LogGP
+#: call-latency histogram.
+DEFAULT_SPEC: dict[str, Any] = {
+    "version": 1,
+    "mitigation_threshold": 2.5,
+    "slos": [
+        {
+            "name": "cell-wall",
+            "objective": 0.99,
+            "sli": {"kind": "cell_wall"},
+            "windows": [
+                {"name": "fast", "last": 4, "max_burn": 14.0},
+                {"name": "slow", "last": 16, "max_burn": 6.0},
+            ],
+        },
+        {
+            "name": "cell-success",
+            "objective": 0.999,
+            "sli": {"kind": "ratio", "bad": "cells_failed", "total": "cells_total"},
+            "windows": [{"name": "run", "last": 0, "max_burn": 1.0}],
+        },
+        {
+            "name": "call-latency",
+            "objective": 0.95,
+            "sli": {"kind": "latency", "metric": "call_latency_usec", "threshold": 65536},
+            "windows": [{"name": "run", "last": 0, "max_burn": 1.0}],
+        },
+    ],
+}
+
+SLI_KINDS = ("cell_wall", "ratio", "latency", "gauge")
+
+
+class SloSpecError(ValueError):
+    """An SLO spec failed validation; ``errors`` lists every problem."""
+
+    def __init__(self, errors: list[str]):
+        super().__init__("; ".join(errors))
+        self.errors = errors
+
+
+def load_slo_spec(source: str | os.PathLike | dict[str, Any] | None) -> dict[str, Any]:
+    """Load + validate an SLO spec.
+
+    ``None`` or the string ``"default"`` selects the built-in spec.
+    JSON is always supported; ``.yaml``/``.yml`` files work when a
+    ``yaml`` module is importable (it is not a dependency).
+    """
+    if source is None or source == "default":
+        return validate_spec(DEFAULT_SPEC)
+    if isinstance(source, dict):
+        return validate_spec(source)
+    path = os.fspath(source)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise SloSpecError([f"cannot read SLO spec {path}: {exc}"]) from exc
+    if path.endswith((".yaml", ".yml")):
+        try:
+            import yaml  # type: ignore[import-not-found]
+        except ImportError as exc:
+            raise SloSpecError(
+                [f"{path}: YAML specs need a yaml module (not installed); use JSON"]
+            ) from exc
+        doc = yaml.safe_load(text)
+    else:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SloSpecError([f"{path}: invalid JSON: {exc}"]) from exc
+    if not isinstance(doc, dict):
+        raise SloSpecError([f"{path}: SLO spec must be an object"])
+    return validate_spec(doc)
+
+
+def validate_spec(doc: dict[str, Any]) -> dict[str, Any]:
+    """All-errors validation (matches the jobspec/space validators' style)."""
+    errors: list[str] = []
+    slos = doc.get("slos")
+    if not isinstance(slos, list) or not slos:
+        raise SloSpecError(["spec.slos must be a non-empty list"])
+    seen: set[str] = set()
+    for i, slo in enumerate(slos):
+        where = f"slos[{i}]"
+        if not isinstance(slo, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        name = slo.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing name")
+        elif name in seen:
+            errors.append(f"{where}: duplicate name {name!r}")
+        else:
+            seen.add(name)
+        objective = slo.get("objective", DEFAULT_OBJECTIVE)
+        if not isinstance(objective, (int, float)) or not 0.0 < objective < 1.0:
+            errors.append(f"{where}: objective must be in (0, 1), got {objective!r}")
+        sli = slo.get("sli")
+        if not isinstance(sli, dict) or sli.get("kind") not in SLI_KINDS:
+            errors.append(f"{where}: sli.kind must be one of {SLI_KINDS}")
+        else:
+            kind = sli["kind"]
+            if kind == "ratio" and not (sli.get("bad") and sli.get("total")):
+                errors.append(f"{where}: ratio sli needs 'bad' and 'total' names")
+            if kind == "latency" and not (sli.get("metric") and sli.get("threshold") is not None):
+                errors.append(f"{where}: latency sli needs 'metric' and 'threshold'")
+            if kind == "gauge" and not (sli.get("metric") and sli.get("max") is not None):
+                errors.append(f"{where}: gauge sli needs 'metric' and 'max'")
+        windows = slo.get("windows") or [{"name": "run", "last": 0, "max_burn": 1.0}]
+        if not isinstance(windows, list) or not windows:
+            errors.append(f"{where}: windows must be a non-empty list")
+            windows = []
+        for j, win in enumerate(windows):
+            if not isinstance(win, dict):
+                errors.append(f"{where}.windows[{j}]: must be an object")
+                continue
+            if not isinstance(win.get("last", 0), int) or win.get("last", 0) < 0:
+                errors.append(f"{where}.windows[{j}]: last must be a non-negative int")
+            mb = win.get("max_burn")
+            if not isinstance(mb, (int, float)) or mb <= 0:
+                errors.append(f"{where}.windows[{j}]: max_burn must be > 0")
+    mt = doc.get("mitigation_threshold")
+    if mt is not None and (not isinstance(mt, (int, float)) or mt <= 1.0):
+        errors.append("mitigation_threshold must be > 1.0 (a wall/expected ratio)")
+    if errors:
+        raise SloSpecError(errors)
+    return doc
+
+
+def _round(v: float) -> float:
+    return round(float(v), 6)
+
+
+class SloEngine:
+    """Evaluates one validated spec against run or history observations."""
+
+    def __init__(self, spec: dict[str, Any] | None = None):
+        self.spec = validate_spec(spec if spec is not None else DEFAULT_SPEC)
+
+    @property
+    def names(self) -> list[str]:
+        return [s["name"] for s in self.spec["slos"]]
+
+    def mitigation_threshold(self) -> float | None:
+        """Straggler-ratio threshold the spec advises ``--mitigate`` to use.
+
+        Advisory pressure only: the pipeline takes the *minimum* of this
+        and the user's ``--anomaly-threshold``, so a spec can tighten
+        mitigation but never slacken an explicit request.
+        """
+        return self.spec.get("mitigation_threshold")
+
+    # -- in-run evaluation -------------------------------------------------
+
+    def evaluate(
+        self,
+        cells: list[dict[str, Any]] | None = None,
+        counts: dict[str, int | float] | None = None,
+        metrics: dict[str, Any] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Score every SLO; returns one status doc per SLO.
+
+        ``cells`` is the deterministic-order cell list (each with
+        ``cell``/``ok``/``straggler``); ``counts`` are scalar context
+        counts (``cells_failed``, serve queue depths, ...); ``metrics``
+        is a registry ``to_dict()`` snapshot. All optional — an SLI with
+        no data evaluates to burn 0 with ``n == 0``.
+        """
+        cells = cells or []
+        counts = counts or {}
+        metrics = metrics or {}
+        return [
+            self._evaluate_one(slo, cells, counts, metrics) for slo in self.spec["slos"]
+        ]
+
+    def _evaluate_one(
+        self,
+        slo: dict[str, Any],
+        cells: list[dict[str, Any]],
+        counts: dict[str, int | float],
+        metrics: dict[str, Any],
+    ) -> dict[str, Any]:
+        sli = slo["sli"]
+        objective = float(slo.get("objective", DEFAULT_OBJECTIVE))
+        budget = 1.0 - objective
+        windows_out = []
+        worst_burn = 0.0
+        breached_all = True
+        for win in slo.get("windows") or [{"name": "run", "last": 0, "max_burn": 1.0}]:
+            bad, total = self._window_units(sli, cells, counts, metrics, int(win.get("last", 0)))
+            bad_frac = (bad / total) if total else 0.0
+            burn = bad_frac / budget if budget else math.inf
+            max_burn = float(win["max_burn"])
+            breached = total > 0 and burn >= max_burn
+            breached_all = breached_all and breached
+            worst_burn = max(worst_burn, burn)
+            windows_out.append(
+                {
+                    "name": win.get("name", "run"),
+                    "last": int(win.get("last", 0)),
+                    "n": total,
+                    "bad": bad,
+                    "burn": _round(burn),
+                    "max_burn": max_burn,
+                    "breached": breached,
+                }
+            )
+        breached = breached_all and bool(windows_out)
+        return {
+            "slo": slo["name"],
+            "kind": sli["kind"],
+            "objective": objective,
+            "burn": _round(worst_burn),
+            "budget_remaining": _round(max(0.0, 1.0 - worst_burn)),
+            "breached": breached,
+            "windows": windows_out,
+        }
+
+    def _window_units(
+        self,
+        sli: dict[str, Any],
+        cells: list[dict[str, Any]],
+        counts: dict[str, int | float],
+        metrics: dict[str, Any],
+        last: int,
+    ) -> tuple[float, float]:
+        """(bad, total) units inside one window."""
+        kind = sli["kind"]
+        if kind == "cell_wall":
+            window = cells[-last:] if last else cells
+            bad = sum(1 for c in window if c.get("straggler"))
+            return float(bad), float(len(window))
+        if kind == "ratio":
+            bad = self._scalar(sli["bad"], counts, metrics)
+            total = self._scalar(sli["total"], counts, metrics)
+            return float(bad or 0), float(total or 0)
+        if kind == "latency":
+            hist = metrics.get(sli["metric"])
+            if not isinstance(hist, dict) or hist.get("type") != "histogram":
+                return 0.0, 0.0
+            threshold = float(sli["threshold"])
+            total = float(hist.get("count") or 0)
+            good = 0.0
+            for edge, cnt in (hist.get("buckets") or {}).items():
+                if float(int(edge)) <= threshold:
+                    good += cnt
+            return max(0.0, total - good), total
+        if kind == "gauge":
+            value = self._scalar(sli["metric"], counts, metrics)
+            if value is None:
+                return 0.0, 0.0
+            return (1.0 if float(value) > float(sli["max"]) else 0.0), 1.0
+        return 0.0, 0.0
+
+    @staticmethod
+    def _scalar(
+        name: str, counts: dict[str, int | float], metrics: dict[str, Any]
+    ) -> float | None:
+        if name in counts:
+            return float(counts[name])
+        inst = metrics.get(name)
+        if isinstance(inst, dict) and "value" in inst:
+            return float(inst["value"])
+        return None
+
+    # -- cross-run (history) evaluation ------------------------------------
+
+    def evaluate_runs(self, snapshots: list[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Score the spec over history snapshots, one unit per recorded run.
+
+        Windows slide over *runs* ordered oldest-first by
+        ``meta.timestamp`` (ties broken by key): ``cell_wall`` counts
+        straggler-flagged cells, ``ratio`` re-resolves its counts from
+        each run's meta, ``latency`` folds the windows' histograms
+        together. This is the post-mortem half of the engine — it runs
+        on any history dir, long after the producing processes exited.
+        """
+        runs = [s for s in snapshots if s.get("kind") == "run"]
+
+        def order(s: dict[str, Any]) -> tuple[float, str]:
+            t = (s.get("meta") or {}).get("timestamp")
+            return (float(t) if isinstance(t, (int, float)) else -math.inf, s["key"])
+
+        runs.sort(key=order)
+        statuses = []
+        for slo in self.spec["slos"]:
+            sli = slo["sli"]
+            objective = float(slo.get("objective", DEFAULT_OBJECTIVE))
+            budget = 1.0 - objective
+            windows_out = []
+            worst = 0.0
+            breached_all = True
+            for win in slo.get("windows") or [{"name": "run", "last": 0, "max_burn": 1.0}]:
+                last = int(win.get("last", 0))
+                window = runs[-last:] if last else runs
+                bad = total = 0.0
+                for snap in window:
+                    meta = snap.get("meta") or {}
+                    if sli["kind"] == "cell_wall":
+                        bad += len(meta.get("stragglers") or [])
+                        total += float(meta.get("cells_total") or 0)
+                    elif sli["kind"] == "ratio":
+                        bad += float(meta.get(sli["bad"]) or 0)
+                        total += float(meta.get(sli["total"]) or 0)
+                    elif sli["kind"] == "latency":
+                        hist = ((snap.get("data") or {}).get("metrics") or {}).get(sli["metric"])
+                        if isinstance(hist, dict) and hist.get("type") == "histogram":
+                            t = float(hist.get("count") or 0)
+                            good = sum(
+                                cnt
+                                for edge, cnt in (hist.get("buckets") or {}).items()
+                                if float(int(edge)) <= float(sli["threshold"])
+                            )
+                            bad += max(0.0, t - good)
+                            total += t
+                bad_frac = (bad / total) if total else 0.0
+                burn = bad_frac / budget if budget else math.inf
+                breached = total > 0 and burn >= float(win["max_burn"])
+                breached_all = breached_all and breached
+                worst = max(worst, burn)
+                windows_out.append(
+                    {
+                        "name": win.get("name", "run"),
+                        "last": last,
+                        "n": total,
+                        "bad": bad,
+                        "burn": _round(burn),
+                        "max_burn": float(win["max_burn"]),
+                        "breached": breached,
+                    }
+                )
+            statuses.append(
+                {
+                    "slo": slo["name"],
+                    "kind": sli["kind"],
+                    "objective": objective,
+                    "burn": _round(worst),
+                    "budget_remaining": _round(max(0.0, 1.0 - worst)),
+                    "breached": breached_all and bool(windows_out),
+                    "windows": windows_out,
+                    "runs": len(runs),
+                }
+            )
+        return statuses
+
+    # -- emission ----------------------------------------------------------
+
+    def record(self, registry: Any, statuses: list[dict[str, Any]]) -> None:
+        """Fold statuses into a metrics registry as ``slo.*`` instruments.
+
+        These land in the volatile namespace (excluded from history's
+        deterministic families) and export to Prometheus both via the
+        generic renderer and the labeled ``hfast_slo_*`` families.
+        """
+        for status in statuses:
+            name = status["slo"]
+            registry.gauge(f"slo.{name}.burn_rate").set(status["burn"])
+            registry.gauge(f"slo.{name}.breached").set(1 if status["breached"] else 0)
+            registry.gauge(f"slo.{name}.budget_remaining").set(status["budget_remaining"])
+            if status["breached"]:
+                registry.counter("slo.violations_total").inc()
+
+
+def cells_for_slo(
+    cell_reports: list[dict[str, Any]], anomalies: list[dict[str, Any]]
+) -> list[dict[str, Any]]:
+    """Adapt pipeline cell reports + anomaly records to the SLI cell shape."""
+    stragglers = {
+        a.get("cell") for a in anomalies if a.get("kind") == "straggler" and a.get("cell")
+    }
+    return [
+        {
+            "cell": f"{c.get('app')}_p{c.get('nranks')}",
+            "ok": bool(c.get("ok", True)),
+            "straggler": f"{c.get('app')}_p{c.get('nranks')}" in stragglers,
+        }
+        for c in cell_reports
+    ]
+
+
+def render_slo_lines(statuses: list[dict[str, Any]]) -> list[str]:
+    """Human-readable one-line-per-SLO summary (stderr advisories, CLI)."""
+    lines = []
+    for s in statuses:
+        windows = ", ".join(
+            f"{w['name']}[{w['last'] or 'all'}] burn={w['burn']:g}/{w['max_burn']:g}"
+            for w in s.get("windows") or []
+        )
+        state = "BREACHED" if s["breached"] else "ok"
+        lines.append(
+            f"slo: {s['slo']} ({s['kind']}, objective {s['objective']:g}) {state} "
+            f"burn={s['burn']:g} budget={s['budget_remaining']:g} [{windows}]"
+        )
+    return lines

@@ -82,25 +82,49 @@ class RingLog:
     (the serve daemon's ``/v1/events`` ops endpoint) a cheap "what just
     happened" window without unbounded growth: the newest ``capacity``
     events win, and :meth:`tail` snapshots them oldest-first.
+
+    Every event gets a monotonically increasing sequence number (``seen``
+    after it is recorded), which :meth:`since` exposes for cursor-based
+    pagination: a tailing client passes back the last ``seq`` it saw and
+    receives only newer events, plus how many fell out of the ring before
+    it caught up.
     """
 
     def __init__(self, capacity: int = 256):
         self.capacity = max(1, int(capacity))
-        self._events: list[dict[str, Any]] = []
+        self._events: list[tuple[int, dict[str, Any]]] = []
         self._lock = threading.Lock()
         self.seen = 0
 
     def handle(self, event: dict[str, Any]) -> None:
         with self._lock:
             self.seen += 1
-            self._events.append(event)
+            self._events.append((self.seen, event))
             if len(self._events) > self.capacity:
                 del self._events[: len(self._events) - self.capacity]
 
     def tail(self, n: int | None = None) -> list[dict[str, Any]]:
         with self._lock:
-            events = list(self._events)
+            events = [ev for _seq, ev in self._events]
         return events if n is None else events[-max(0, int(n)):]
+
+    def since(self, cursor: int) -> tuple[list[dict[str, Any]], int, int]:
+        """Events newer than ``cursor``; returns (events, next_cursor, missed).
+
+        Each returned event dict carries its ``seq``. ``next_cursor`` is
+        the value to pass back on the next poll (unchanged when nothing
+        new arrived); ``missed`` counts events that rotated out of the
+        ring before this poll — nonzero means the client fell behind the
+        producer and lost that many events.
+        """
+        cursor = max(0, int(cursor))
+        with self._lock:
+            newer = [(seq, ev) for seq, ev in self._events if seq > cursor]
+            seen = self.seen
+        oldest_retained = newer[0][0] if newer else seen + 1
+        missed = max(0, min(oldest_retained - cursor - 1, seen - cursor))
+        events = [{"seq": seq, **ev} for seq, ev in newer]
+        return events, (events[-1]["seq"] if events else max(cursor, seen)), missed
 
 
 class StreamForwardSink:

@@ -70,21 +70,56 @@ class JsonlSink:
     costs a syscall per span — measurable on traces with thousands of
     events — and the only consumer that needs bytes promptly (the live
     streaming path) calls ``flush()`` itself.
+
+    ``max_bytes`` turns on size-based rollover for owned file targets:
+    when the next event would push the file past the cap, the file
+    shifts to ``<path>.1`` (older siblings to ``.2``, ``.3``, ... up to
+    ``max_files``) and a fresh file is opened. Rollover happens between
+    whole lines, so every file in the chain is independently valid JSONL
+    and the analytics loader can stitch the chain back together.
     """
 
-    def __init__(self, target: str | os.PathLike | io.TextIOBase):
+    def __init__(
+        self,
+        target: str | os.PathLike | io.TextIOBase,
+        max_bytes: int | None = None,
+        max_files: int = 5,
+    ):
+        self._max_bytes = max_bytes
+        self._max_files = max(1, int(max_files))
         if isinstance(target, (str, os.PathLike)):
-            parent = os.path.dirname(os.fspath(target))
+            self._path: str | None = os.fspath(target)
+            parent = os.path.dirname(self._path)
             if parent:
                 os.makedirs(parent, exist_ok=True)
-            self._fh: io.TextIOBase = open(target, "a", encoding="utf-8")
+            self._fh: io.TextIOBase = open(self._path, "a", encoding="utf-8")
             self._owns = True
+            self._size = os.path.getsize(self._path)
         else:
+            self._path = None
             self._fh = target
             self._owns = False
+            self._size = 0
 
     def emit(self, event: dict[str, Any]) -> None:
-        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        line = json.dumps(event, sort_keys=True) + "\n"
+        if self._max_bytes is not None and self._path is not None:
+            nbytes = len(line.encode("utf-8"))
+            if self._size > 0 and self._size + nbytes > self._max_bytes:
+                self._rotate()
+            self._size += nbytes
+        self._fh.write(line)
+
+    def _rotate(self) -> None:
+        # Local import: logs.py does not import trace, so no cycle.
+        from hfast.obs.logs import rotate_siblings
+
+        self._fh.flush()
+        self._fh.close()
+        assert self._path is not None
+        rotate_siblings(self._path, self._max_files)
+        self._fh = open(self._path, "a", encoding="utf-8")
+        self._size = 0
 
     def flush(self) -> None:
         self._fh.flush()

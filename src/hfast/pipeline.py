@@ -50,9 +50,11 @@ from hfast.matcher import DEFAULT_MATCHER
 from hfast.matrix import reduce_matrix
 from hfast.obs import stream
 from hfast.obs.anomaly import AnomalyDetector
+from hfast.obs.logs import get_logger
 from hfast.obs.manifest import build_manifest
 from hfast.obs.metrics import log2_bucket
 from hfast.obs.profile import Observability, get_obs, using
+from hfast.obs.slo import SloEngine, cells_for_slo
 from hfast.records import SEND_CALLS, Trace
 from hfast.sched.cost import CostModel
 from hfast.sched.faults import inject_slow
@@ -458,8 +460,11 @@ def run_pipeline(
     anomaly: AnomalyDetector | None = None,
     anomaly_threshold: float | None = None,
     mitigate: bool = False,
+    slo: SloEngine | None = None,
+    history_dir: str | None = None,
+    history_source: str = "analyze",
 ) -> dict[str, Any]:
-    """Run the analysis matrix; returns {manifest, results, anomalies}.
+    """Run the analysis matrix; returns {manifest, results, anomalies, slo}.
 
     ``workers > 1`` fans cells out over a process pool; ``shard=(i, m)``
     restricts the run to every m-th cell starting at i. Failed cells are
@@ -498,6 +503,16 @@ def run_pipeline(
     changes only scheduling order and wall time — results, cache, trace
     invariants, and report content stay byte-identical to a
     non-mitigated run.
+
+    ``slo`` evaluates the engine's objectives once the matrix completes:
+    statuses are emitted as ``slo_status`` / ``slo_violation`` trace
+    events, recorded as ``slo.*`` registry instruments, and returned
+    under ``"slo"``. A breached spec also tightens the mitigation
+    policy's straggler threshold (advisory pressure) when ``mitigate``
+    is on. ``history_dir`` appends one content-addressed snapshot of the
+    run (results projection + deterministic metrics) to the persistent
+    telemetry history as the final step — a pure side channel that
+    touches no event, metric, or artifact the run produces.
     """
     if scheduler not in SCHEDULERS:
         raise ValueError(f"unknown scheduler '{scheduler}' (expected one of {SCHEDULERS})")
@@ -545,6 +560,14 @@ def run_pipeline(
     )
     obs.tracer.emit_event("manifest", manifest)
 
+    # Structured logging is a pure side channel (separate file, wall-clock
+    # allowed): a no-op unless configure_logging() installed a sink.
+    log = get_logger(component="pipeline", run_id=run_id)
+    log.info(
+        "run_start", scheduler=scheduler, workers=workers,
+        ncells=len(cells), apps=apps,
+    )
+
     cost_model: CostModel | None = None
     if scheduler == "stealing" or bus is not None:
         cost_model = CostModel.from_bench_dir(bench_dir, matcher=matcher)
@@ -559,7 +582,17 @@ def run_pipeline(
     # is warmed in deterministic cell order at merge time.
     mitigator: MitigationPolicy | None = None
     if mitigate:
-        mitigator = MitigationPolicy.from_bench_dir(bench_dir, threshold=anomaly_threshold)
+        # SLO advisory pressure: a spec's mitigation_threshold can tighten
+        # (never slacken) the straggler ratio the policy acts on.
+        mitigation_threshold = anomaly_threshold
+        slo_threshold = slo.mitigation_threshold() if slo is not None else None
+        if slo_threshold is not None:
+            mitigation_threshold = (
+                slo_threshold
+                if mitigation_threshold is None
+                else min(mitigation_threshold, slo_threshold)
+            )
+        mitigator = MitigationPolicy.from_bench_dir(bench_dir, threshold=mitigation_threshold)
 
     def payload_for(cell: Cell) -> dict[str, Any]:
         return {
@@ -617,6 +650,15 @@ def run_pipeline(
             obs.metrics.merge_snapshot(res["metrics"])
         _merge_cache_stats(cache.stats, res["cache"])
         cell_reports.append(report_for(res))
+        log.log(
+            "info" if res["ok"] else "error",
+            "cell_done",
+            cell=f"{res['app']}_p{res['nranks']}",
+            ok=bool(res["ok"]),
+            attempts=res.get("attempts", 1),
+            wall_s=round(res["wall_s"], 6),
+            error=res["error"],
+        )
         if res["summary"] is not None:
             results.append(res["summary"])
         if detector is not None:
@@ -764,6 +806,39 @@ def run_pipeline(
     manifest["cache"] = cache.stats.to_dict()
     manifest["scheduler"] = sched_info
     obs.tracer.emit_event("manifest", manifest)
+
+    slo_statuses: list[dict[str, Any]] = []
+    if slo is not None:
+        slo_statuses = slo.evaluate(
+            cells=cells_for_slo(cell_reports, anomalies),
+            counts={
+                "cells_total": len(cell_reports),
+                "cells_failed": len(manifest["failed_cells"]),
+            },
+            metrics=obs.metrics.to_dict() if obs.enabled else {},
+        )
+        if obs.enabled:
+            slo.record(obs.metrics, slo_statuses)
+        for status in slo_statuses:
+            obs.tracer.emit_event("slo_status", status)
+            if status["breached"]:
+                obs.tracer.emit_event(
+                    "slo_violation",
+                    {
+                        "slo": status["slo"],
+                        "burn": status["burn"],
+                        "objective": status["objective"],
+                        "windows": status["windows"],
+                    },
+                )
+            if bus is not None:
+                bus.publish({"event": "slo_status", **status})
+            if status["breached"]:
+                log.warning(
+                    "slo_breached", slo=status["slo"], burn=status["burn"],
+                    objective=status["objective"],
+                )
+
     if bus is not None:
         bus.publish(
             {
@@ -773,4 +848,35 @@ def run_pipeline(
                 "anomalies": len(anomalies),
             }
         )
-    return {"manifest": manifest, "results": results, "anomalies": anomalies}
+
+    log.info(
+        "run_done",
+        cells=len(cell_reports),
+        failed=len(manifest["failed_cells"]),
+        anomalies=len(anomalies),
+    )
+
+    if history_dir is not None:
+        # Strictly last, and a pure side channel: nothing below touches
+        # events, metrics, or any artifact the run produced — analyze
+        # output is byte-identical history-on vs history-off.
+        from hfast.obs.history import HistoryStore, snapshot_from_run
+
+        with HistoryStore(history_dir) as hist:
+            hist.append(
+                snapshot_from_run(
+                    manifest,
+                    results,
+                    metrics_snapshot=obs.metrics.to_dict() if obs.enabled else {},
+                    source=history_source,
+                    anomalies=anomalies,
+                    slo_statuses=slo_statuses,
+                )
+            )
+
+    return {
+        "manifest": manifest,
+        "results": results,
+        "anomalies": anomalies,
+        "slo": slo_statuses,
+    }

@@ -43,6 +43,7 @@ from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Sequence
 
 from hfast.obs import stream
+from hfast.obs.logs import get_logger
 from hfast.obs.profile import Observability
 from hfast.sched.cost import CostModel
 from hfast.sched.faults import TransientFault, maybe_inject
@@ -215,6 +216,10 @@ def run_stealing(
     idempotent and losers are discarded before the merge.
     """
     cost_model = cost_model or CostModel()
+    # Ambient structured log: a no-op unless the process configured one
+    # (hfast analyze --log-out, the serve daemon); correlation ids let a
+    # reader join these records against the trace.
+    log = get_logger(component="sched", run_id=journal.run_id if journal is not None else None)
 
     def emit_live(event: dict[str, Any]) -> None:
         if on_event is not None:
@@ -377,6 +382,13 @@ def run_stealing(
             )
             due = time.monotonic() + config.retry_backoff * (2 ** (n_attempts - 1))
             heapq.heappush(delayed, (due, -cost_model.estimate(cell.app, cell.nranks), index, cell))
+            log.warning(
+                "cell_retry",
+                cell=key,
+                worker=slot.worker_id,
+                attempt=n_attempts,
+                error=result.get("error"),
+            )
             emit_live(
                 {
                     "event": "cell_state",
@@ -434,6 +446,12 @@ def run_stealing(
 
     def handle_lost_worker(slot: _WorkerSlot, reason: str) -> None:
         stats["workers_lost"] += 1
+        log.error(
+            "worker_lost",
+            worker=slot.worker_id,
+            cell=f"{slot.busy[1].app}_p{slot.busy[1].nranks}" if slot.busy else None,
+            reason=reason,
+        )
         emit_live(
             {
                 "event": "worker_lost",
@@ -462,6 +480,12 @@ def run_stealing(
             stats["redispatches"] += 1
             prior_attempts.setdefault(index, []).append(
                 {"attempt": attempts.get(index, 1), "events": [], "error": reason}
+            )
+            log.warning(
+                "cell_redispatch",
+                cell=f"{cell.app}_p{cell.nranks}",
+                attempt=attempts.get(index, 1),
+                reason=reason,
             )
             if attempts.get(index, 1) <= config.max_retries:
                 # Crash re-dispatch goes straight back onto the queue: the

@@ -110,6 +110,16 @@ class ServeConfig:
     # LRU byte budget for the result store (None = unbounded); evictions
     # increment the serve.store_evictions_total counter.
     store_max_bytes: int | None = None
+    # Telemetry history root: every finished job appends a
+    # content-addressed run snapshot (None = history off).
+    history_dir: str | None = None
+    # SLO spec ("default", or a JSON/YAML path) evaluated per job; None
+    # disables the SLO engine.
+    slo_spec: str | None = None
+    # Seconds between heartbeat events on the bus (<= 0 disables them).
+    # Tailing /v1/events clients use the heartbeat to tell "quiet daemon"
+    # from "stalled daemon".
+    heartbeat_interval: float = 2.0
 
 
 @dataclass
@@ -191,6 +201,30 @@ class AnalysisService:
         )
         self._graft_lock = threading.Lock()
 
+        # SLO engine shared by every job (the engine is stateless across
+        # evaluate() calls, so one instance is safe on the thread pool).
+        self.slo_engine = None
+        if config.slo_spec:
+            from hfast.obs.slo import SloEngine, load_slo_spec
+
+            self.slo_engine = SloEngine(load_slo_spec(config.slo_spec))
+
+        # Telemetry history: one store, appended from job threads (each
+        # append goes through the store's lock / per-writer wip file).
+        self.history = None
+        if config.history_dir:
+            from hfast.obs.history import HistoryStore
+
+            self.history = HistoryStore(config.history_dir)
+
+        # Structured daemon log (rotating JSONL under <serve_dir>/logs).
+        from hfast.obs.logs import RotatingJsonlWriter, StructuredLogger
+
+        self.log = StructuredLogger(
+            RotatingJsonlWriter(root / "logs" / "daemon.jsonl")
+        ).bind(component="serve")
+        self._heartbeat_task: asyncio.Task | None = None
+
         self._jobs: dict[str, Job] = {}
         self._active: dict[str, Job] = {}  # result key -> in-flight job
         self._tasks: set[asyncio.Task] = set()
@@ -210,7 +244,29 @@ class AnalysisService:
             self._handle_connection, host=self.config.host, port=self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self.log.info("serve_start", host=self.config.host, port=self.port)
+        if self.config.heartbeat_interval > 0:
+            self._heartbeat_task = self._loop.create_task(self._heartbeat_loop())
         self._recover()
+
+    async def _heartbeat_loop(self) -> None:
+        """Periodic liveness beacon on the event bus (lands in the ring).
+
+        A tailing ``/v1/events`` client that stops seeing heartbeats can
+        distinguish "the daemon is idle" from "the daemon is stalled".
+        """
+        while True:
+            await asyncio.sleep(self.config.heartbeat_interval)
+            running = sum(1 for j in self._active.values() if j.status == "running")
+            self.bus.publish(
+                {
+                    "event": "heartbeat",
+                    "ts": round(time.time(), 6),
+                    "running": running,
+                    "queued": len(self._active) - running,
+                    "draining": self._draining,
+                }
+            )
 
     def _recover(self) -> None:
         """Re-admit jobs a previous daemon left unfinished."""
@@ -251,6 +307,13 @@ class AnalysisService:
         """Graceful drain: refuse new work, finish in-flight, then stop."""
         self._draining = True
         self.metrics.gauge("serve.draining").set(1)
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat_task = None
         if self._tasks:
             await asyncio.gather(*list(self._tasks), return_exceptions=True)
         self._executor.shutdown(wait=True)
@@ -260,12 +323,36 @@ class AnalysisService:
             self._server = None
         self._trace_obs.tracer.flush()
         self._trace_obs.tracer.close()
+        if self.history is not None:
+            # Final service-counter snapshot, then seal the segment so a
+            # clean shutdown leaves only content-addressed files behind.
+            from hfast.obs.history import snapshot_from_service
+
+            self.history.append(
+                snapshot_from_service(
+                    self.metrics.to_dict(),
+                    timestamp=round(time.time(), 6),
+                    extra_meta={"port": self.port},
+                )
+            )
+            self.history.close()
+        self.log.info("serve_drained", jobs=len(self._jobs))
+        self.log.close()
 
     # -- admission (event-loop thread only) ---------------------------------
 
     def _admit_job(self, job: Job) -> None:
         self._jobs[job.job_id] = job
         self._active[job.key] = job
+        self.log.info(
+            "job_admitted",
+            job_id=job.job_id,
+            key=job.key,
+            run_id=job.run_id,
+            cell=job.spec.cell_key,
+            kind=job.kind,
+            recovered=job.recovered,
+        )
         self.ledger.write(job.doc())
         self._update_gauges()
         assert self._loop is not None
@@ -317,6 +404,7 @@ class AnalysisService:
         budget = self.config.max_running + self.config.queue_limit
         if len(self._active) >= budget:
             self.metrics.counter("serve.rejected_429").inc()
+            self.log.warning("job_rejected", cell=spec.cell_key, key=key, reason="budget")
             return (
                 429,
                 {"error": f"admission budget exhausted ({budget} jobs in flight)"},
@@ -352,6 +440,10 @@ class AnalysisService:
         self.ledger.write(job.doc())
         self._update_gauges()
         self.bus.publish({"event": "job_start", "job_id": job.job_id, "cell": job.spec.cell_key})
+        job_log = self.log.bind(
+            job_id=job.job_id, key=job.key, run_id=job.run_id, cell=job.spec.cell_key
+        )
+        job_log.info("job_start", kind=job.kind, recovered=job.recovered)
 
         keep_events = self._trace_obs.enabled
         job_obs = Observability(enabled=True, keep_events=keep_events)
@@ -426,6 +518,29 @@ class AnalysisService:
                 "wall_s": job.finished - (job.started or job.finished),
             }
         )
+        if job.error is not None:
+            job_log.error("job_failed", error=job.error, wall_s=round(job.finished - (job.started or job.finished), 6))
+        else:
+            job_log.info("job_done", wall_s=round(job.finished - (job.started or job.finished), 6))
+        # History is a pure side channel: the stored artifact bytes are
+        # already final (store.put above), so a snapshot failure can only
+        # ever cost us the snapshot, never the job.
+        if self.history is not None and job.kind == "analyze" and out is not None:
+            try:
+                from hfast.obs.history import snapshot_from_run
+
+                self.history.append(
+                    snapshot_from_run(
+                        out.get("manifest") or {},
+                        out.get("results") or [],
+                        metrics_snapshot=job_obs.metrics.to_dict(),
+                        source="serve",
+                        anomalies=out.get("anomalies"),
+                        slo_statuses=out.get("slo"),
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 - side-channel boundary
+                job_log.error("history_append_failed", error=f"{type(exc).__name__}: {exc}")
 
     def _run_pipeline_once(self, job: Job, job_obs: Observability) -> dict[str, Any]:
         spec = job.spec
@@ -447,6 +562,7 @@ class AnalysisService:
                 run_id=job.run_id,
                 service={"job_id": job.job_id, "key": job.key},
                 bench_dir=self.config.bench_dir,
+                slo=self.slo_engine,
             )
 
     def _run_sweep_once(self, job: Job, job_obs: Observability) -> dict[str, Any]:
@@ -677,6 +793,24 @@ class AnalysisService:
             return 200, PROM_CONTENT_TYPE, text.encode("utf-8"), {}
 
         if path == "/v1/events" and method == "GET":
+            if "cursor" in query:
+                # Cursor-paginated tail: only events newer than the
+                # client's last-seen seq, plus how many rotated out of
+                # the ring before it caught up.
+                try:
+                    cursor = int(query["cursor"][0])
+                except ValueError:
+                    return json_response(400, {"error": "cursor must be an integer"})
+                events, next_cursor, missed = self.ring.since(cursor)
+                return json_response(
+                    200,
+                    {
+                        "seen": self.ring.seen,
+                        "cursor": next_cursor,
+                        "missed": missed,
+                        "events": events,
+                    },
+                )
             n = None
             if "n" in query:
                 try:
